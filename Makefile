@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench fuzz table1 figures ablate clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Scaled-down Table I + figure + ablation benches (see bench_test.go);
+# full-fidelity Table I is `make table1`.
+bench:
+	$(GO) test -bench=. -benchmem -run XXX .
+
+fuzz:
+	$(GO) test ./internal/benchfmt -fuzz=FuzzParse -fuzztime 30s
+
+table1:
+	$(GO) run ./cmd/ddd-table1 -n 20
+
+figures:
+	$(GO) run ./cmd/ddd-figures
+
+ablate:
+	$(GO) run ./cmd/ddd-ablate -exp all
+
+clean:
+	$(GO) clean ./...

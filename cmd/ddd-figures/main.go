@@ -1,0 +1,63 @@
+// ddd-figures regenerates the data behind the paper's figures:
+//
+//	Figure 1 — logic resolution vs timing resolution (detection
+//	           probability sweeps for long/short and dominant/masked
+//	           paths);
+//	Figure 2 — the probabilistic dictionary matching ambiguity (the
+//	           paper's worked example under every error function);
+//	Figure 3 — the equivalence-checking error model (per-candidate
+//	           mismatch vectors and Euclidean errors for one case).
+//
+// Usage:
+//
+//	ddd-figures [-fig 1|2|3|all] [-samples 400] [-seed 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate (1, 2, 3 or all)")
+	samples := flag.Int("samples", 400, "Monte-Carlo samples (figure 1)")
+	points := flag.Int("points", 25, "clk sweep points (figure 1)")
+	seed := flag.Uint64("seed", 5, "random seed")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		fmt.Printf("==== Figure %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "ddd-figures: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("1", func() error {
+		r, err := eval.Figure1(*samples, *points, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatFigure1(r))
+		return nil
+	})
+	run("2", func() error {
+		fmt.Print(eval.FormatFigure2(eval.Figure2()))
+		return nil
+	})
+	run("3", func() error {
+		r, err := eval.Figure3(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatFigure3(r, 12))
+		return nil
+	})
+}

@@ -1,0 +1,89 @@
+// ddd-table1 regenerates Table I of the paper: diagnosis success
+// rates for the benchmark circuits, three K values each, under
+// Alg_sim Method I, Method II and Alg_rev, next to the published
+// numbers.
+//
+// The full run (all 8 circuits, N=20, default samples) takes a while
+// on the large circuits; -quick runs a reduced configuration and
+// -circuits selects a subset.
+//
+// Usage:
+//
+//	ddd-table1 [-circuits s1196,s1238] [-n 20] [-samples 96] [-quick] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	circuits := flag.String("circuits", strings.Join(eval.Table1Circuits(), ","), "comma-separated circuit list")
+	n := flag.Int("n", 20, "instances per circuit (paper: 20)")
+	samples := flag.Int("samples", 96, "dictionary Monte-Carlo samples")
+	patterns := flag.Int("patterns", 12, "max diagnostic patterns per case")
+	maxSuspects := flag.Int("max-suspects", 0, "cap on suspect-set size (0 = unlimited)")
+	quick := flag.Bool("quick", false, "reduced configuration for a fast smoke run")
+	verbose := flag.Bool("v", false, "per-case detail")
+	wideSize := flag.Bool("wide-size", false, "dictionary assumes Uniform[0.25,1.5] cell-delay defect sizes")
+	csvOut := flag.String("csv", "", "also write measured rows as CSV to this file")
+	flag.Parse()
+
+	var all []eval.Table1Row
+	for _, name := range strings.Split(*circuits, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cfg := eval.DefaultConfig(name)
+		cfg.N = *n
+		cfg.DictSamples = *samples
+		cfg.MaxPatterns = *patterns
+		cfg.MaxSuspects = *maxSuspects
+		if *wideSize {
+			cfg.AssumedSizeFactor = [2]float64{0.25, 1.5}
+		}
+		if *quick {
+			cfg.N = 8
+			cfg.DictSamples = 48
+			cfg.MaxPatterns = 8
+			cfg.ClkSamples = 100
+			if cfg.MaxSuspects == 0 {
+				cfg.MaxSuspects = 150
+			}
+		}
+		start := time.Now()
+		res, err := eval.RunCircuit(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ddd-table1: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %s | escape=%.0f%% meanSuspects=%.0f (%v)\n",
+			name, res.Stats, 100*res.EscapeRate(), res.MeanSuspects(), time.Since(start).Round(time.Second))
+		if *verbose {
+			if err := eval.WriteReport(os.Stderr, res, true); err != nil {
+				fmt.Fprintln(os.Stderr, "ddd-table1:", err)
+			}
+		}
+		all = append(all, eval.MeasuredRows(res)...)
+	}
+	fmt.Println()
+	fmt.Print(eval.FormatTable1(all))
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddd-table1:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := eval.WriteTable1CSV(f, all); err != nil {
+			fmt.Fprintln(os.Stderr, "ddd-table1:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// customdefect studies diagnosis resolution versus defect size — the
+// small-delay-defect motivation of the paper's introduction (resistive
+// opens/shorts, crosstalk, weak bridges all manifest as *small* extra
+// delays). A user-defined defect-size model replaces the paper's
+// default, and the sweep shows detection and ranking degrade as the
+// defect shrinks below the process noise.
+//
+//	go run ./examples/customdefect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func main() {
+	c, err := repro.GenerateCircuit("small", 2003)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The calibrated experiment regime: local-dominated variation.
+	tp := repro.DefaultTimingParams()
+	tp.SigmaGlobal = 0.02
+	tp.SigmaLocal = 0.08
+	model := repro.NewTimingModel(c, tp)
+	injector := repro.NewInjector(c, model)
+	cell := model.MeanCellDelay()
+	fmt.Printf("circuit %s, mean cell delay %.3f\n\n", c.Name, cell)
+
+	// One fixed fault site with good patterns, shared by every sweep
+	// point so only the defect size varies.
+	truth := injector.Sample(repro.NewRand(2))
+	tests := repro.DiagnosticPatterns(model, truth.Arc, 8, 11)
+	if len(tests) == 0 {
+		log.Fatal("no diagnostic patterns; change the seed")
+	}
+	pats := make([]repro.PatternPair, len(tests))
+	clk := 0.0
+	for i, tc := range tests {
+		pats[i] = tc.Pair
+		if tl := model.TimingLength(tc.Path.Arcs, 300, 13).Quantile(0.9); tl > clk {
+			clk = tl
+		}
+	}
+	fmt.Printf("site arc %d, %d patterns, clk %.3f\n\n", truth.Arc, len(pats), clk)
+
+	fmt.Printf("%-12s %10s %10s %12s\n", "size/cell", "detected", "suspects", "rank(AlgRev)")
+	const dies = 6
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.5} {
+		size := frac * cell
+		detected, rankSum, ranked, suspSum := 0, 0, 0, 0
+		for die := 0; die < dies; die++ {
+			inst := model.SampleInstanceSeeded(100, uint64(die))
+			d := repro.Defect{Arc: truth.Arc, Size: size}
+			b := repro.SimulateBehavior(c, inst, pats, d, clk)
+			if !b.AnyFailure() {
+				continue
+			}
+			detected++
+			suspects := repro.SuspectArcs(c, pats, b)
+			suspSum += len(suspects)
+			// A custom size assumption for the dictionary: the user
+			// believes defects are uniform within ±25 % of this size.
+			sizeDist := dist.Uniform{Lo: 0.75 * size, Hi: 1.25 * size}
+			dict, err := repro.BuildDictionary(model, pats, suspects, repro.DictConfig{
+				Clk: clk, Samples: 64, Seed: rng.Derive(31, uint64(die)),
+				Incremental: true, SizeDist: sizeDist,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if r := rankOf(dict.Diagnose(b, repro.AlgRev), truth.Arc); r > 0 {
+				rankSum += r
+				ranked++
+			}
+		}
+		rankStr, suspStr := "-", "-"
+		if ranked > 0 {
+			rankStr = fmt.Sprintf("%.1f", float64(rankSum)/float64(ranked))
+		}
+		if detected > 0 {
+			suspStr = fmt.Sprintf("%.0f", float64(suspSum)/float64(detected))
+		}
+		fmt.Printf("%-12.2f %7d/%d %10s %12s\n", frac, detected, dies, suspStr, rankStr)
+	}
+	fmt.Println("\nsmaller defects sink in the ranking — the resolution limit")
+	fmt.Println("that the paper's statistical framework quantifies.")
+}
+
+func rankOf(ranked []core.Ranked, truth repro.ArcID) int {
+	for i, rk := range ranked {
+		if rk.Arc == truth {
+			return i + 1
+		}
+	}
+	return 0
+}

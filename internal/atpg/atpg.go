@@ -1,0 +1,439 @@
+// Package atpg generates two-vector path-delay tests. Following the
+// paper (Section G), tests are produced from *logic* sensitization
+// conditions only — no timing is consulted during generation — using
+// the standard robust and non-robust criteria:
+//
+//   - the launching input of the target path transitions between the
+//     two vectors, and the transition propagates along the path;
+//   - at every on-path gate with a controlling value, the side (off-
+//     path) inputs hold the non-controlling value in the final vector
+//     (non-robust), and additionally hold it steadily in both vectors
+//     for robust tests (the hazard-free robust criterion, under which
+//     the transition propagates statically through every on-path gate);
+//   - XOR-family side inputs are held stable at 0 in both vectors, so
+//     the gate passes the transition with a fixed polarity.
+//
+// Justification is a two-time-frame PODEM: objectives are justified by
+// backtracing through X-valued gates to unassigned primary inputs,
+// with chronological backtracking under a configurable budget.
+package atpg
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/circuit"
+	"repro/internal/logicsim"
+	"repro/internal/path"
+)
+
+// Errors returned by test generation.
+var (
+	// ErrUntestable means the search space was exhausted: the path has
+	// no test under the requested sensitization criterion.
+	ErrUntestable = errors.New("atpg: path untestable under the requested criterion")
+	// ErrBudget means the backtrack budget ran out before a decision.
+	ErrBudget = errors.New("atpg: backtrack budget exhausted")
+)
+
+// ternary logic values.
+const (
+	f0 byte = 0
+	f1 byte = 1
+	fX byte = 2
+)
+
+func b2t(b bool) byte {
+	if b {
+		return f1
+	}
+	return f0
+}
+
+// evalT computes the 3-valued output of a cell.
+func evalT(t circuit.CellType, in []byte) byte {
+	ctrl, hasCtrl := t.Controlling()
+	if hasCtrl {
+		cv := b2t(ctrl)
+		anyX := false
+		for _, v := range in {
+			if v == cv {
+				out := ctrl
+				if t.Inverting() {
+					out = !out
+				}
+				return b2t(out)
+			}
+			if v == fX {
+				anyX = true
+			}
+		}
+		if anyX {
+			return fX
+		}
+		out := !ctrl
+		if t.Inverting() {
+			out = !out
+		}
+		return b2t(out)
+	}
+	switch t {
+	case circuit.Buf, circuit.Output, circuit.DFF:
+		return in[0]
+	case circuit.Not:
+		if in[0] == fX {
+			return fX
+		}
+		return in[0] ^ 1
+	case circuit.Xor, circuit.Xnor:
+		out := byte(0)
+		for _, v := range in {
+			if v == fX {
+				return fX
+			}
+			out ^= v
+		}
+		if t == circuit.Xnor {
+			out ^= 1
+		}
+		return out
+	case circuit.Const0:
+		return f0
+	case circuit.Const1:
+		return f1
+	default:
+		panic(fmt.Sprintf("atpg: evalT on %v", t))
+	}
+}
+
+// objective is a required definite value at a gate output in a frame.
+type objective struct {
+	g     circuit.GateID
+	frame int // 0 = V1, 1 = V2
+	val   byte
+}
+
+// Generator produces path-delay tests for one circuit. A Generator
+// holds scratch state and is not safe for concurrent use; create one
+// per goroutine.
+type Generator struct {
+	c *circuit.Circuit
+	// BacktrackLimit bounds the PODEM search per call (default 2000).
+	BacktrackLimit int
+	// Restarts retries the search with randomized backtrace choices
+	// when the deterministic first-fanin heuristic fails (default 3).
+	// The single-target backtrace makes PODEM incomplete; randomized
+	// restarts recover most of the loss cheaply.
+	Restarts int
+	// Scoap, when set (circuit.ComputeScoap), steers the deterministic
+	// backtrace toward the fanin with the cheapest controllability for
+	// the needed value instead of the first X fanin.
+	Scoap *circuit.Scoap
+
+	vals    [2][]byte // 3-valued gate values per frame
+	inAssn  [2][]byte // input assignments (by input index)
+	scratch []byte
+	choice  *rand.Rand // nil = deterministic first-X-fanin backtrace
+}
+
+// NewGenerator returns a Generator for c.
+func NewGenerator(c *circuit.Circuit) *Generator {
+	g := &Generator{c: c, BacktrackLimit: 2000, Restarts: 3}
+	for f := 0; f < 2; f++ {
+		g.vals[f] = make([]byte, len(c.Gates))
+		g.inAssn[f] = make([]byte, len(c.Inputs))
+	}
+	return g
+}
+
+// simulate refreshes both frames' 3-valued gate values from the
+// current input assignments.
+func (g *Generator) simulate() {
+	c := g.c
+	for f := 0; f < 2; f++ {
+		vals := g.vals[f]
+		for i, in := range c.Inputs {
+			vals[in] = g.inAssn[f][i]
+		}
+		for _, gid := range c.Order {
+			gate := &c.Gates[gid]
+			if gate.Type == circuit.Input {
+				continue
+			}
+			g.scratch = g.scratch[:0]
+			for _, fi := range gate.Fanin {
+				g.scratch = append(g.scratch, vals[fi])
+			}
+			vals[gid] = evalT(gate.Type, g.scratch)
+		}
+	}
+}
+
+// pathObjectives derives the launch assignment and side-input
+// objectives for path p with the given launch polarity and criterion.
+// It returns the required on-path pin values so that the caller can
+// verify them, plus the objective list.
+func (g *Generator) pathObjectives(p path.Path, rising, robust bool) ([]objective, error) {
+	c := g.c
+	if err := p.Validate(c); err != nil {
+		return nil, err
+	}
+	var objs []objective
+	// Launch values at the path input.
+	launch := c.Arcs[p.Arcs[0]].From
+	v1, v2 := b2t(!rising), b2t(rising)
+	objs = append(objs, objective{g: launch, frame: 0, val: v1}, objective{g: launch, frame: 1, val: v2})
+
+	// Walk the path, tracking the on-path transition polarity.
+	cur1, cur2 := v1, v2
+	for _, aid := range p.Arcs {
+		a := &c.Arcs[aid]
+		gate := &c.Gates[a.To]
+		ctrl, hasCtrl := gate.Type.Controlling()
+		switch {
+		case hasCtrl:
+			cv := b2t(ctrl)
+			// Side inputs: non-controlling in V2; steadily so in both
+			// frames for (hazard-free) robust tests.
+			steady := robust
+			for k, fi := range gate.Fanin {
+				if k == a.Pin {
+					continue
+				}
+				objs = append(objs, objective{g: fi, frame: 1, val: cv ^ 1})
+				if steady {
+					objs = append(objs, objective{g: fi, frame: 0, val: cv ^ 1})
+				}
+			}
+			if gate.Type.Inverting() {
+				cur1, cur2 = cur1^1, cur2^1
+			}
+		case gate.Type == circuit.Xor || gate.Type == circuit.Xnor:
+			// Hold side inputs stable at 0 in both frames.
+			for k, fi := range gate.Fanin {
+				if k == a.Pin {
+					continue
+				}
+				objs = append(objs, objective{g: fi, frame: 0, val: f0})
+				objs = append(objs, objective{g: fi, frame: 1, val: f0})
+			}
+			if gate.Type == circuit.Xnor {
+				cur1, cur2 = cur1^1, cur2^1
+			}
+		case gate.Type == circuit.Not:
+			cur1, cur2 = cur1^1, cur2^1
+		case gate.Type == circuit.Buf || gate.Type == circuit.Output:
+			// transparent
+		default:
+			return nil, fmt.Errorf("atpg: unsupported on-path cell %v", gate.Type)
+		}
+	}
+	return objs, nil
+}
+
+// PathTest generates a two-vector test for path p. rising selects the
+// launch polarity at the path input; robust selects the sensitization
+// criterion. Unconstrained inputs are filled randomly from r. The
+// generated pair is re-verified with CheckPathTest before being
+// returned.
+func (g *Generator) PathTest(p path.Path, rising, robust bool, r *rand.Rand) (logicsim.PatternPair, error) {
+	objs, err := g.pathObjectives(p, rising, robust)
+	if err != nil {
+		return logicsim.PatternPair{}, err
+	}
+	for f := 0; f < 2; f++ {
+		for i := range g.inAssn[f] {
+			g.inAssn[f][i] = fX
+		}
+	}
+	// Launch objectives are direct input assignments.
+	inputIdx := make(map[circuit.GateID]int, len(g.c.Inputs))
+	for i, in := range g.c.Inputs {
+		inputIdx[in] = i
+	}
+	var rest []objective
+	for _, o := range objs {
+		if idx, ok := inputIdx[o.g]; ok {
+			prev := g.inAssn[o.frame][idx]
+			if prev != fX && prev != o.val {
+				return logicsim.PatternPair{}, ErrUntestable
+			}
+			g.inAssn[o.frame][idx] = o.val
+			continue
+		}
+		rest = append(rest, o)
+	}
+
+	// Attempt 0 uses the deterministic backtrace; further attempts
+	// randomize the X-fanin choice (drawn from r, so the overall
+	// generation stays reproducible per seed).
+	solved := false
+	budgetHit := false
+	for attempt := 0; attempt <= g.Restarts && !solved; attempt++ {
+		if attempt == 0 {
+			g.choice = nil
+		} else {
+			g.choice = r
+		}
+		backtracks := 0
+		if g.search(rest, inputIdx, &backtracks) {
+			solved = true
+			break
+		}
+		if backtracks >= g.BacktrackLimit {
+			budgetHit = true
+		}
+		// Clear any partial assignments from the failed attempt,
+		// keeping the direct launch/side input constraints.
+		for f := 0; f < 2; f++ {
+			for i := range g.inAssn[f] {
+				g.inAssn[f][i] = fX
+			}
+		}
+		for _, o := range objs {
+			if idx, ok := inputIdx[o.g]; ok {
+				g.inAssn[o.frame][idx] = o.val
+			}
+		}
+	}
+	g.choice = nil
+	if !solved {
+		if budgetHit {
+			return logicsim.PatternPair{}, ErrBudget
+		}
+		return logicsim.PatternPair{}, ErrUntestable
+	}
+
+	pair := g.extractPair(r)
+	if err := CheckPathTest(g.c, p, pair, robust); err != nil {
+		return logicsim.PatternPair{}, fmt.Errorf("atpg: internal: generated test fails verification: %w", err)
+	}
+	return pair, nil
+}
+
+// search is the PODEM loop: simulate, check objectives, pick an X
+// objective, backtrace to an input, branch.
+func (g *Generator) search(objs []objective, inputIdx map[circuit.GateID]int, backtracks *int) bool {
+	g.simulate()
+	var open *objective
+	for i := range objs {
+		o := &objs[i]
+		got := g.vals[o.frame][o.g]
+		if got == o.val {
+			continue
+		}
+		if got != fX {
+			return false // definite conflict
+		}
+		if open == nil {
+			open = o
+		}
+	}
+	if open == nil {
+		return true
+	}
+	in, target, ok := g.backtrace(open.g, open.frame, open.val)
+	if !ok {
+		return false // objective unreachable: no X input controls it
+	}
+	idx := inputIdx[in]
+	for attempt := 0; attempt < 2; attempt++ {
+		v := target
+		if attempt == 1 {
+			v = target ^ 1
+		}
+		g.inAssn[open.frame][idx] = v
+		if g.search(objs, inputIdx, backtracks) {
+			return true
+		}
+		g.inAssn[open.frame][idx] = fX
+		*backtracks++
+		if *backtracks >= g.BacktrackLimit {
+			return false
+		}
+	}
+	g.simulate() // restore consistent state for the caller's frame
+	return false
+}
+
+// backtrace walks from an X-valued gate toward an unassigned input,
+// choosing at each step a fanin that can move the output toward val.
+func (g *Generator) backtrace(gid circuit.GateID, frame int, val byte) (circuit.GateID, byte, bool) {
+	c := g.c
+	for {
+		gate := &c.Gates[gid]
+		if gate.Type == circuit.Input {
+			return gid, val, true
+		}
+		ctrl, hasCtrl := gate.Type.Controlling()
+		need := val
+		if gate.Type.Inverting() {
+			need ^= 1
+		}
+		// Determine the value to pursue on the chosen fanin first, so
+		// SCOAP guidance can cost candidates against it.
+		var target byte
+		switch {
+		case hasCtrl:
+			cv := b2t(ctrl)
+			if need == cv {
+				target = cv // one controlling input suffices
+			} else {
+				target = cv ^ 1 // all inputs must be non-controlling
+			}
+		case gate.Type == circuit.Xor || gate.Type == circuit.Xnor:
+			target = f0 // arbitrary; parity resolved by other pins
+		default: // NOT/BUF/Output
+			target = need
+		}
+		// Choose an X-valued fanin: the cheapest by SCOAP
+		// controllability when available, the first one otherwise, or
+		// a random one during restarts.
+		var pick circuit.GateID = -1
+		nX := 0
+		for _, fi := range gate.Fanin {
+			if g.vals[frame][fi] != fX {
+				continue
+			}
+			nX++
+			switch {
+			case pick < 0:
+				pick = fi
+			case g.choice != nil:
+				if g.choice.IntN(nX) == 0 {
+					pick = fi
+				}
+			case g.Scoap != nil:
+				if g.Scoap.Controllability(fi, target == f1) < g.Scoap.Controllability(pick, target == f1) {
+					pick = fi
+				}
+			}
+		}
+		if pick < 0 {
+			return 0, 0, false
+		}
+		val = target
+		gid = pick
+	}
+}
+
+// extractPair converts the input assignment to concrete vectors,
+// filling X positions randomly.
+func (g *Generator) extractPair(r *rand.Rand) logicsim.PatternPair {
+	n := len(g.c.Inputs)
+	v1 := make(logicsim.Vector, n)
+	v2 := make(logicsim.Vector, n)
+	for i := 0; i < n; i++ {
+		a, b := g.inAssn[0][i], g.inAssn[1][i]
+		if a == fX {
+			a = b2t(r.IntN(2) == 1)
+		}
+		if b == fX {
+			b = b2t(r.IntN(2) == 1)
+		}
+		v1[i] = a == f1
+		v2[i] = b == f1
+	}
+	return logicsim.PatternPair{V1: v1, V2: v2}
+}

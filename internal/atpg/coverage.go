@@ -1,0 +1,87 @@
+package atpg
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/logicsim"
+)
+
+// Coverage metrics for pattern sets. The paper observes that diagnosis
+// accuracy "depends on the set of test patterns"; arc (segment)
+// coverage — the fraction of logic arcs a pattern set statically
+// sensitizes to at least one output — is the natural quantitative
+// handle: an unsensitized arc can never enter the fault dictionary's
+// universe, so its defects are undiagnosable by construction.
+
+// CoverageResult reports arc coverage of a pattern set.
+type CoverageResult struct {
+	TotalArcs  int    // logic arcs (output-port arcs excluded)
+	Covered    int    // arcs sensitized by at least one pattern
+	PerPattern []int  // cumulative covered count after each pattern
+	CoveredSet []bool // indexed by ArcID
+	// Detects[a] counts how many patterns sensitize arc a — the
+	// N-detect profile. Arcs sensitized by several patterns give the
+	// dictionary several chances to differentiate them; 1-detect arcs
+	// rest on a single column of evidence.
+	Detects []int
+}
+
+// NDetect returns the number of covered arcs with at least n detecting
+// patterns.
+func (r *CoverageResult) NDetect(n int) int {
+	c := 0
+	for _, d := range r.Detects {
+		if d >= n {
+			c++
+		}
+	}
+	return c
+}
+
+// Fraction returns covered/total.
+func (r *CoverageResult) Fraction() float64 {
+	if r.TotalArcs == 0 {
+		return 0
+	}
+	return float64(r.Covered) / float64(r.TotalArcs)
+}
+
+// ArcCoverage computes which logic arcs the pattern set statically
+// sensitizes toward any output, with the cumulative curve per pattern
+// (the classic fault-coverage curve, over segments).
+func ArcCoverage(c *circuit.Circuit, pats []logicsim.PatternPair) *CoverageResult {
+	res := &CoverageResult{
+		CoveredSet: make([]bool, len(c.Arcs)),
+		Detects:    make([]int, len(c.Arcs)),
+	}
+	for i := range c.Arcs {
+		if c.Gates[c.Arcs[i].To].Type != circuit.Output {
+			res.TotalArcs++
+		}
+	}
+	perPattern := c.NewArcSet()
+	for _, p := range pats {
+		tr := logicsim.SimulatePair(c, p)
+		for i := range perPattern {
+			perPattern[i] = false
+		}
+		for oi := range c.Outputs {
+			for _, aid := range logicsim.SensitizedArcs(c, tr, oi).IDs() {
+				if c.Gates[c.Arcs[aid].To].Type == circuit.Output {
+					continue
+				}
+				perPattern[aid] = true
+				if !res.CoveredSet[aid] {
+					res.CoveredSet[aid] = true
+					res.Covered++
+				}
+			}
+		}
+		for aid, hit := range perPattern {
+			if hit {
+				res.Detects[aid]++
+			}
+		}
+		res.PerPattern = append(res.PerPattern, res.Covered)
+	}
+	return res
+}

@@ -1,0 +1,101 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/logicsim"
+	"repro/internal/rng"
+	"repro/internal/synth"
+)
+
+func TestArcCoverageSimple(t *testing.T) {
+	c, err := benchfmt.ParseString("INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = AND(a, b)\n", "and2", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a with b = 1: sensitizes arc a->o only (b stable).
+	p1 := logicsim.PatternPair{V1: logicsim.Vector{false, true}, V2: logicsim.Vector{true, true}}
+	res := ArcCoverage(c, []logicsim.PatternPair{p1})
+	if res.TotalArcs != 2 {
+		t.Fatalf("total = %d", res.TotalArcs)
+	}
+	if res.Covered != 1 {
+		t.Errorf("covered = %d, want 1", res.Covered)
+	}
+	// Adding the symmetric pattern covers the other arc.
+	p2 := logicsim.PatternPair{V1: logicsim.Vector{true, false}, V2: logicsim.Vector{true, true}}
+	res = ArcCoverage(c, []logicsim.PatternPair{p1, p2})
+	if res.Covered != 2 || res.Fraction() != 1 {
+		t.Errorf("covered = %d fraction = %v", res.Covered, res.Fraction())
+	}
+	if len(res.PerPattern) != 2 || res.PerPattern[0] != 1 || res.PerPattern[1] != 2 {
+		t.Errorf("curve = %v", res.PerPattern)
+	}
+}
+
+func TestArcCoverageMonotone(t *testing.T) {
+	c, err := synth.GenerateNamed("small", 2003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := RandomPairs(c, 30, rng.New(7))
+	res := ArcCoverage(c, pats)
+	prev := 0
+	for i, v := range res.PerPattern {
+		if v < prev {
+			t.Fatalf("coverage curve decreased at %d", i)
+		}
+		prev = v
+	}
+	if res.Covered != res.PerPattern[len(res.PerPattern)-1] {
+		t.Errorf("final curve point %d != covered %d", res.PerPattern[len(res.PerPattern)-1], res.Covered)
+	}
+	if res.Fraction() <= 0 || res.Fraction() > 1 {
+		t.Errorf("fraction = %v", res.Fraction())
+	}
+	n := 0
+	for _, v := range res.CoveredSet {
+		if v {
+			n++
+		}
+	}
+	if n != res.Covered {
+		t.Errorf("set count %d != covered %d", n, res.Covered)
+	}
+}
+
+func TestNDetectCounts(t *testing.T) {
+	c, err := benchfmt.ParseString("INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = AND(a, b)\n", "and2", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := logicsim.PatternPair{V1: logicsim.Vector{false, true}, V2: logicsim.Vector{true, true}}
+	// The same pattern twice: arc a->o detected by both.
+	res := ArcCoverage(c, []logicsim.PatternPair{p1, p1})
+	o, _ := c.GateByName("o")
+	if res.Detects[o.InArcs[0]] != 2 {
+		t.Errorf("detects = %d, want 2", res.Detects[o.InArcs[0]])
+	}
+	if res.Detects[o.InArcs[1]] != 0 {
+		t.Errorf("uncovered arc has detects %d", res.Detects[o.InArcs[1]])
+	}
+	if res.NDetect(1) != 1 || res.NDetect(2) != 1 || res.NDetect(3) != 0 {
+		t.Errorf("NDetect counts wrong: %d/%d/%d", res.NDetect(1), res.NDetect(2), res.NDetect(3))
+	}
+	// NDetect(1) must equal Covered on any input.
+	c2, _ := synth.GenerateNamed("mini", 1)
+	pats := RandomPairs(c2, 12, rng.New(3))
+	r2 := ArcCoverage(c2, pats)
+	if r2.NDetect(1) != r2.Covered {
+		t.Errorf("NDetect(1) %d != Covered %d", r2.NDetect(1), r2.Covered)
+	}
+}
+
+func TestArcCoverageEmpty(t *testing.T) {
+	c, _ := synth.GenerateNamed("mini", 1)
+	res := ArcCoverage(c, nil)
+	if res.Covered != 0 || len(res.PerPattern) != 0 {
+		t.Errorf("empty pattern set covered %d", res.Covered)
+	}
+}

@@ -1,0 +1,81 @@
+package atpg
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/circuit"
+	"repro/internal/logicsim"
+)
+
+// DiagnosticPatternsLoC generates diagnostic patterns under the
+// launch-on-capture (broadside) constraint: the second vector's state
+// bits must be the circuit's own next state of the first vector, so
+// only the primary inputs are freely assignable at launch. Structural
+// justification under this constraint amounts to sequential ATPG;
+// following the same pragmatic route as the unconstrained flow, the
+// generator searches for witnesses — biased random launch states whose
+// derived broadside pair statically sensitizes the site — and verifies
+// each with CheckPathTest.
+//
+// Comparing these patterns against DiagnosticPatterns quantifies the
+// cost of the enhanced-scan assumption the paper (and this
+// reproduction) makes by default.
+func DiagnosticPatternsLoC(c *circuit.Circuit, sm logicsim.ScanMap, site circuit.ArcID, maxPatterns, tries int, r *rand.Rand) []PathTestResult {
+	a := c.Arcs[site]
+	launchCone := c.FaninCone(a.From)
+	inCone := make([]bool, len(c.Inputs))
+	for i, g := range c.Inputs {
+		inCone[i] = launchCone.Has(g)
+	}
+	numPI := len(c.Inputs) - len(sm.PPIs)
+
+	var out []PathTestResult
+	seenPair := make(map[string]bool)
+	seenPath := make(map[string]bool)
+	for trial := 0; trial < tries && len(out) < maxPatterns; trial++ {
+		// Random launch state; primary inputs may change at launch,
+		// cone PIs flip eagerly.
+		v1 := make(logicsim.Vector, len(c.Inputs))
+		for i := range v1 {
+			v1[i] = r.IntN(2) == 1
+		}
+		piV2 := make(logicsim.Vector, numPI)
+		for i := range piV2 {
+			piV2[i] = v1[i]
+			if inCone[i] {
+				if r.IntN(2) == 0 {
+					piV2[i] = !v1[i]
+				}
+			} else if r.IntN(10) == 0 {
+				piV2[i] = !v1[i]
+			}
+		}
+		v2 := logicsim.LaunchOnCapture(c, sm, v1, piV2)
+		pair := logicsim.PatternPair{V1: v1, V2: v2}
+		if seenPair[pair.String()] {
+			continue
+		}
+		tr := logicsim.SimulatePair(c, pair)
+		if tr.Init[a.From] == tr.Final[a.From] {
+			continue
+		}
+		for oi := range c.Outputs {
+			arcs := logicsim.SensitizedArcs(c, tr, oi)
+			if !arcs.Has(site) {
+				continue
+			}
+			p, ok := extractPathThrough(c, arcs, site, oi)
+			if !ok || seenPath[pathKey(p)] {
+				continue
+			}
+			if CheckPathTest(c, p, pair, false) != nil {
+				continue
+			}
+			seenPair[pair.String()] = true
+			seenPath[pathKey(p)] = true
+			out = append(out, PathTestResult{Path: p, Pair: pair, Robust: false})
+			break
+		}
+	}
+	return out
+}

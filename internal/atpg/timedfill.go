@@ -1,0 +1,61 @@
+package atpg
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/circuit"
+	"repro/internal/logicsim"
+	"repro/internal/path"
+	"repro/internal/tsim"
+)
+
+// OptimizeFill implements the timing-guided refinement Section G
+// sketches (and attributes to GA-based ATPG [11]): a generated path
+// test usually leaves many inputs unconstrained, and different fills
+// produce different delays along the targeted path's sensitized cone.
+// Starting from a valid test, OptimizeFill hill-climbs over single-bit
+// flips of the two vectors, accepting a flip when the pair remains a
+// valid (non-)robust test for the path and the timed arrival at the
+// path's output on the given fixed-delay instance does not decrease.
+//
+// The search is deterministic under r and costs one timed simulation
+// per attempted flip. It returns the improved pair and its arrival
+// time; the original pair is returned unchanged when no flip helps.
+func OptimizeFill(c *circuit.Circuit, delays []float64, p path.Path, pair logicsim.PatternPair, robust bool, flips int, r *rand.Rand) (logicsim.PatternPair, float64) {
+	outGate := c.Arcs[p.Arcs[len(p.Arcs)-1]].To
+	outIdx := c.OutputIndex(outGate)
+	if outIdx < 0 {
+		return pair, 0
+	}
+	eng := tsim.NewEngine(c)
+	arrival := func(pp logicsim.PatternPair) float64 {
+		res := eng.Run(delays, pp, tsim.Quiescent())
+		return res.LastChange[outIdx]
+	}
+	best := clonePair(pair)
+	bestT := arrival(best)
+	n := len(c.Inputs)
+	for attempt := 0; attempt < flips; attempt++ {
+		cand := clonePair(best)
+		bit := r.IntN(n)
+		if r.IntN(2) == 0 {
+			cand.V1[bit] = !cand.V1[bit]
+		} else {
+			cand.V2[bit] = !cand.V2[bit]
+		}
+		if CheckPathTest(c, p, cand, robust) != nil {
+			continue
+		}
+		if t := arrival(cand); t >= bestT {
+			best, bestT = cand, t
+		}
+	}
+	return best, bestT
+}
+
+func clonePair(p logicsim.PatternPair) logicsim.PatternPair {
+	return logicsim.PatternPair{
+		V1: append(logicsim.Vector(nil), p.V1...),
+		V2: append(logicsim.Vector(nil), p.V2...),
+	}
+}

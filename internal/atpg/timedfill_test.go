@@ -1,0 +1,64 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/path"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/timing"
+	"repro/internal/tsim"
+)
+
+func TestOptimizeFillNeverDegrades(t *testing.T) {
+	c, err := synth.GenerateNamed("small", 2003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := timing.NewModel(c, timing.DefaultParams())
+	inst := m.NominalInstance()
+	r := rng.New(3)
+	site := path.KLongestThrough(c, m.Nominal, 0, 1)[0].Arcs[0]
+	tests := DiagnosticPatterns(c, m.Nominal, site, 4, r)
+	if len(tests) == 0 {
+		t.Skip("no tests for this site")
+	}
+	for i, tc := range tests {
+		outGate := c.Arcs[tc.Path.Arcs[len(tc.Path.Arcs)-1]].To
+		outIdx := c.OutputIndex(outGate)
+		eng := tsim.NewEngine(c)
+		before := eng.Run(inst.Delays, tc.Pair, tsim.Quiescent()).LastChange[outIdx]
+
+		opt, after := OptimizeFill(c, inst.Delays, tc.Path, tc.Pair, tc.Robust, 60, rng.New(uint64(i)))
+		if after < before-1e-12 {
+			t.Errorf("test %d: fill optimization degraded arrival %v -> %v", i, before, after)
+		}
+		// The optimized pair must still be a valid test.
+		if err := CheckPathTest(c, tc.Path, opt, tc.Robust); err != nil {
+			t.Errorf("test %d: optimized pair invalid: %v", i, err)
+		}
+		// And the original pair must not have been mutated.
+		if err := CheckPathTest(c, tc.Path, tc.Pair, tc.Robust); err != nil {
+			t.Errorf("test %d: original pair mutated: %v", i, err)
+		}
+	}
+}
+
+func TestOptimizeFillDeterministic(t *testing.T) {
+	c, err := synth.GenerateNamed("mini", 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := timing.NewModel(c, timing.DefaultParams())
+	inst := m.NominalInstance()
+	tests := DiagnosticPatterns(c, m.Nominal, 5, 3, rng.New(7))
+	if len(tests) == 0 {
+		t.Skip("no tests")
+	}
+	tc := tests[0]
+	a, ta := OptimizeFill(c, inst.Delays, tc.Path, tc.Pair, tc.Robust, 40, rng.New(9))
+	b, tb2 := OptimizeFill(c, inst.Delays, tc.Path, tc.Pair, tc.Robust, 40, rng.New(9))
+	if a.String() != b.String() || ta != tb2 {
+		t.Errorf("fill optimization not deterministic")
+	}
+}

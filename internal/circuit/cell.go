@@ -1,0 +1,233 @@
+// Package circuit provides the gate-level netlist substrate: a cell
+// library with logic semantics, a directed acyclic circuit graph whose
+// arcs are the pin-to-pin delay edges of the paper's circuit model
+// (Definition D.1), topological utilities (levelization, fan-in/fan-out
+// cones), scan conversion for sequential benchmarks, and structural
+// validation.
+package circuit
+
+import "fmt"
+
+// CellType enumerates the supported cell functions. The set covers the
+// ISCAS'89 .bench vocabulary plus explicit input/output port markers.
+type CellType uint8
+
+// Supported cell types.
+const (
+	Input CellType = iota // primary input (or pseudo-PI after scan conversion)
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	DFF     // D flip-flop; removed by scan conversion
+	Output  // primary output port (one input, identity function)
+	Const0  // constant 0 driver
+	Const1  // constant 1 driver
+	numCell // sentinel
+)
+
+var cellNames = [...]string{
+	Input: "INPUT", Buf: "BUF", Not: "NOT", And: "AND", Nand: "NAND",
+	Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR", DFF: "DFF",
+	Output: "OUTPUT", Const0: "CONST0", Const1: "CONST1",
+}
+
+func (c CellType) String() string {
+	if int(c) < len(cellNames) {
+		return cellNames[c]
+	}
+	return fmt.Sprintf("CellType(%d)", uint8(c))
+}
+
+// ParseCellType converts a .bench function name to a CellType. The
+// boolean reports whether the name was recognized.
+func ParseCellType(name string) (CellType, bool) {
+	switch name {
+	case "BUF", "BUFF":
+		return Buf, true
+	case "NOT", "INV":
+		return Not, true
+	case "AND":
+		return And, true
+	case "NAND":
+		return Nand, true
+	case "OR":
+		return Or, true
+	case "NOR":
+		return Nor, true
+	case "XOR":
+		return Xor, true
+	case "XNOR":
+		return Xnor, true
+	case "DFF":
+		return DFF, true
+	default:
+		return 0, false
+	}
+}
+
+// MinFanin returns the minimum legal fan-in for the cell type.
+func (c CellType) MinFanin() int {
+	switch c {
+	case Input, Const0, Const1:
+		return 0
+	case Buf, Not, DFF, Output:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// MaxFanin returns the maximum legal fan-in (-1 means unbounded).
+func (c CellType) MaxFanin() int {
+	switch c {
+	case Input, Const0, Const1:
+		return 0
+	case Buf, Not, DFF, Output:
+		return 1
+	default:
+		return -1 // variadic gates
+	}
+}
+
+// Eval computes the cell's boolean function over the input values. For
+// Input/Const cells (no inputs) it returns the constant (Input defaults
+// to false; simulators never call Eval on Input cells).
+func (c CellType) Eval(in []bool) bool {
+	switch c {
+	case Const0, Input:
+		return false
+	case Const1:
+		return true
+	case Buf, DFF, Output:
+		return in[0]
+	case Not:
+		return !in[0]
+	case And:
+		for _, v := range in {
+			if !v {
+				return false
+			}
+		}
+		return true
+	case Nand:
+		for _, v := range in {
+			if !v {
+				return true
+			}
+		}
+		return false
+	case Or:
+		for _, v := range in {
+			if v {
+				return true
+			}
+		}
+		return false
+	case Nor:
+		for _, v := range in {
+			if v {
+				return false
+			}
+		}
+		return true
+	case Xor:
+		out := false
+		for _, v := range in {
+			out = out != v
+		}
+		return out
+	case Xnor:
+		out := true
+		for _, v := range in {
+			out = out != v
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("circuit: Eval on %v", c))
+	}
+}
+
+// EvalWords computes the function over 64-way bit-parallel words (one
+// pattern per bit), used by the parallel-pattern logic simulator.
+func (c CellType) EvalWords(in []uint64) uint64 {
+	switch c {
+	case Const0, Input:
+		return 0
+	case Const1:
+		return ^uint64(0)
+	case Buf, DFF, Output:
+		return in[0]
+	case Not:
+		return ^in[0]
+	case And:
+		out := ^uint64(0)
+		for _, v := range in {
+			out &= v
+		}
+		return out
+	case Nand:
+		out := ^uint64(0)
+		for _, v := range in {
+			out &= v
+		}
+		return ^out
+	case Or:
+		out := uint64(0)
+		for _, v := range in {
+			out |= v
+		}
+		return out
+	case Nor:
+		out := uint64(0)
+		for _, v := range in {
+			out |= v
+		}
+		return ^out
+	case Xor:
+		out := uint64(0)
+		for _, v := range in {
+			out ^= v
+		}
+		return out
+	case Xnor:
+		out := uint64(0)
+		for _, v := range in {
+			out ^= v
+		}
+		return ^out
+	default:
+		panic(fmt.Sprintf("circuit: EvalWords on %v", c))
+	}
+}
+
+// Controlling returns the controlling input value of the cell and
+// whether the cell has one. An input at the controlling value fixes the
+// output regardless of the other inputs (AND/NAND: 0, OR/NOR: 1).
+// XOR/XNOR and single-input cells have no controlling value.
+func (c CellType) Controlling() (value bool, ok bool) {
+	switch c {
+	case And, Nand:
+		return false, true
+	case Or, Nor:
+		return true, true
+	default:
+		return false, false
+	}
+}
+
+// Inverting reports whether the cell logically inverts: the output with
+// all inputs non-controlling (or the single input, for 1-input cells)
+// is the complement of the non-controlling value.
+func (c CellType) Inverting() bool {
+	switch c {
+	case Not, Nand, Nor, Xnor:
+		return true
+	default:
+		return false
+	}
+}

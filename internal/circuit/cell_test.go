@@ -1,0 +1,167 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCellType(t *testing.T) {
+	cases := map[string]CellType{
+		"AND": And, "NAND": Nand, "OR": Or, "NOR": Nor,
+		"XOR": Xor, "XNOR": Xnor, "NOT": Not, "INV": Not,
+		"BUF": Buf, "BUFF": Buf, "DFF": DFF,
+	}
+	for name, want := range cases {
+		got, ok := ParseCellType(name)
+		if !ok || got != want {
+			t.Errorf("ParseCellType(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := ParseCellType("MUX42"); ok {
+		t.Errorf("unknown cell parsed")
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	two := [][]bool{{false, false}, {false, true}, {true, false}, {true, true}}
+	cases := []struct {
+		typ  CellType
+		want [4]bool
+	}{
+		{And, [4]bool{false, false, false, true}},
+		{Nand, [4]bool{true, true, true, false}},
+		{Or, [4]bool{false, true, true, true}},
+		{Nor, [4]bool{true, false, false, false}},
+		{Xor, [4]bool{false, true, true, false}},
+		{Xnor, [4]bool{true, false, false, true}},
+	}
+	for _, c := range cases {
+		for i, in := range two {
+			if got := c.typ.Eval(in); got != c.want[i] {
+				t.Errorf("%v%v = %v, want %v", c.typ, in, got, c.want[i])
+			}
+		}
+	}
+	if Not.Eval([]bool{true}) || !Not.Eval([]bool{false}) {
+		t.Errorf("NOT wrong")
+	}
+	if !Buf.Eval([]bool{true}) || Buf.Eval([]bool{false}) {
+		t.Errorf("BUF wrong")
+	}
+	if Const0.Eval(nil) || !Const1.Eval(nil) {
+		t.Errorf("const wrong")
+	}
+}
+
+func TestEvalVariadic(t *testing.T) {
+	in := []bool{true, true, false, true}
+	if And.Eval(in) {
+		t.Errorf("4-in AND with a zero should be 0")
+	}
+	if !Or.Eval(in) {
+		t.Errorf("4-in OR with a one should be 1")
+	}
+	if !Xor.Eval(in) { // three ones -> odd parity
+		t.Errorf("4-in XOR parity wrong")
+	}
+	if Xnor.Eval(in) {
+		t.Errorf("4-in XNOR parity wrong")
+	}
+}
+
+// TestEvalWordsMatchesEval checks bit-parallel evaluation against the
+// scalar truth function over random words for every multi-input cell.
+func TestEvalWordsMatchesEval(t *testing.T) {
+	types := []CellType{And, Nand, Or, Nor, Xor, Xnor}
+	f := func(a, b, c uint64, ti uint8) bool {
+		typ := types[int(ti)%len(types)]
+		words := []uint64{a, b, c}
+		out := typ.EvalWords(words)
+		for bit := 0; bit < 64; bit++ {
+			in := []bool{a>>bit&1 == 1, b>>bit&1 == 1, c>>bit&1 == 1}
+			if typ.Eval(in) != (out>>bit&1 == 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// Single-input cells.
+	w := uint64(0xF0F0AAAA55551111)
+	if Not.EvalWords([]uint64{w}) != ^w {
+		t.Errorf("NOT words wrong")
+	}
+	if Buf.EvalWords([]uint64{w}) != w {
+		t.Errorf("BUF words wrong")
+	}
+	if Const0.EvalWords(nil) != 0 || Const1.EvalWords(nil) != ^uint64(0) {
+		t.Errorf("const words wrong")
+	}
+}
+
+func TestControllingAndInverting(t *testing.T) {
+	cases := []struct {
+		typ    CellType
+		ctrl   bool
+		has    bool
+		invert bool
+	}{
+		{And, false, true, false},
+		{Nand, false, true, true},
+		{Or, true, true, false},
+		{Nor, true, true, true},
+		{Xor, false, false, false},
+		{Xnor, false, false, true},
+		{Not, false, false, true},
+		{Buf, false, false, false},
+	}
+	for _, c := range cases {
+		v, ok := c.typ.Controlling()
+		if ok != c.has || (ok && v != c.ctrl) {
+			t.Errorf("%v Controlling = %v,%v", c.typ, v, ok)
+		}
+		if c.typ.Inverting() != c.invert {
+			t.Errorf("%v Inverting = %v", c.typ, c.typ.Inverting())
+		}
+	}
+}
+
+// Controlling-value semantics: any input at the controlling value
+// forces the output to Eval(all-controlling).
+func TestControllingForcesOutput(t *testing.T) {
+	for _, typ := range []CellType{And, Nand, Or, Nor} {
+		ctrl, _ := typ.Controlling()
+		forced := typ.Eval([]bool{ctrl, ctrl})
+		for _, other := range []bool{false, true} {
+			if got := typ.Eval([]bool{ctrl, other}); got != forced {
+				t.Errorf("%v controlling input does not force output", typ)
+			}
+			if got := typ.Eval([]bool{other, ctrl}); got != forced {
+				t.Errorf("%v controlling input does not force output (pin 1)", typ)
+			}
+		}
+	}
+}
+
+func TestMinMaxFanin(t *testing.T) {
+	if And.MinFanin() != 2 || And.MaxFanin() != -1 {
+		t.Errorf("AND fanin bounds wrong")
+	}
+	if Not.MinFanin() != 1 || Not.MaxFanin() != 1 {
+		t.Errorf("NOT fanin bounds wrong")
+	}
+	if Input.MinFanin() != 0 || Input.MaxFanin() != 0 {
+		t.Errorf("INPUT fanin bounds wrong")
+	}
+}
+
+func TestCellTypeString(t *testing.T) {
+	if And.String() != "AND" || DFF.String() != "DFF" {
+		t.Errorf("String() wrong")
+	}
+	if CellType(200).String() == "" {
+		t.Errorf("out-of-range String empty")
+	}
+}

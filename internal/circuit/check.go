@@ -1,0 +1,107 @@
+package circuit
+
+import "fmt"
+
+// Check validates structural invariants of a built circuit. Builders
+// guarantee these by construction; Check exists so that tests,
+// generators, and parsers can assert integrity after transformation.
+func (c *Circuit) Check() error {
+	if len(c.Inputs) == 0 {
+		return fmt.Errorf("circuit %q: no inputs", c.Name)
+	}
+	if len(c.Outputs) == 0 {
+		return fmt.Errorf("circuit %q: no outputs", c.Name)
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if g.ID != GateID(i) {
+			return fmt.Errorf("gate %d has ID %d", i, g.ID)
+		}
+		n := len(g.Fanin)
+		if n < g.Type.MinFanin() || (g.Type.MaxFanin() >= 0 && n > g.Type.MaxFanin()) {
+			return fmt.Errorf("gate %q (%v) has illegal fan-in %d", g.Name, g.Type, n)
+		}
+		if len(g.InArcs) != n {
+			return fmt.Errorf("gate %q: %d in-arcs for %d fan-ins", g.Name, len(g.InArcs), n)
+		}
+		for k, a := range g.InArcs {
+			arc := c.Arcs[a]
+			if arc.To != g.ID || arc.Pin != k || arc.From != g.Fanin[k] {
+				return fmt.Errorf("gate %q pin %d: inconsistent arc %+v", g.Name, k, arc)
+			}
+		}
+		if g.Type == DFF {
+			return fmt.Errorf("gate %q: DFF survives in a built circuit; scan conversion required", g.Name)
+		}
+	}
+	for i := range c.Arcs {
+		a := &c.Arcs[i]
+		if a.ID != ArcID(i) {
+			return fmt.Errorf("arc %d has ID %d", i, a.ID)
+		}
+		if a.From < 0 || int(a.From) >= len(c.Gates) || a.To < 0 || int(a.To) >= len(c.Gates) {
+			return fmt.Errorf("arc %d endpoints out of range: %+v", i, a)
+		}
+	}
+	if len(c.Order) != len(c.Gates) {
+		return fmt.Errorf("order covers %d of %d gates", len(c.Order), len(c.Gates))
+	}
+	// Topological property: every gate appears after all its fan-ins.
+	pos := make([]int, len(c.Gates))
+	for p, g := range c.Order {
+		pos[g] = p
+	}
+	for i := range c.Gates {
+		for _, fi := range c.Gates[i].Fanin {
+			if pos[fi] >= pos[i] {
+				return fmt.Errorf("order violates precedence: %q before its fan-in %q",
+					c.Gates[i].Name, c.Gates[fi].Name)
+			}
+		}
+	}
+	for _, in := range c.Inputs {
+		if c.Gates[in].Type != Input {
+			return fmt.Errorf("input list contains non-Input gate %q", c.Gates[in].Name)
+		}
+	}
+	for _, out := range c.Outputs {
+		if c.Gates[out].Type != Output {
+			return fmt.Errorf("output list contains non-Output gate %q", c.Gates[out].Name)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a circuit's size and shape.
+type Stats struct {
+	Gates   int // all gates including port gates
+	Logic   int // gates excluding Input/Output port gates
+	Arcs    int
+	Inputs  int
+	Outputs int
+	Depth   int
+}
+
+// Stats computes summary statistics.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Gates:   len(c.Gates),
+		Arcs:    len(c.Arcs),
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		Depth:   c.Depth(),
+	}
+	for i := range c.Gates {
+		switch c.Gates[i].Type {
+		case Input, Output:
+		default:
+			s.Logic++
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("gates=%d logic=%d arcs=%d PI=%d PO=%d depth=%d",
+		s.Gates, s.Logic, s.Arcs, s.Inputs, s.Outputs, s.Depth)
+}

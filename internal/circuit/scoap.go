@@ -1,0 +1,155 @@
+package circuit
+
+// SCOAP testability measures (Goldstein 1979): combinational 0/1
+// controllability (the cost of setting a line to 0/1 from the inputs)
+// and observability (the cost of propagating a line's value to an
+// output). The ATPG uses controllability to steer its backtrace toward
+// the cheapest inputs, and the diagnosis experiments use observability
+// to characterize sites.
+//
+// Conventions: controllability of a primary input is 1; every gate
+// traversal adds 1; unreachable values would be infinite and are
+// represented by a large sentinel.
+
+// ScoapInf is the sentinel for uncontrollable/unobservable lines.
+const ScoapInf = 1 << 30
+
+// Scoap holds the testability measures for every gate output.
+type Scoap struct {
+	CC0 []int32 // cost of setting the line to 0
+	CC1 []int32 // cost of setting the line to 1
+	CO  []int32 // cost of observing the line at any output
+}
+
+func satAdd(a, b int32) int32 {
+	s := int64(a) + int64(b)
+	if s >= ScoapInf {
+		return ScoapInf
+	}
+	return int32(s)
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ComputeScoap returns the SCOAP measures for circuit c.
+func ComputeScoap(c *Circuit) *Scoap {
+	s := &Scoap{
+		CC0: make([]int32, len(c.Gates)),
+		CC1: make([]int32, len(c.Gates)),
+		CO:  make([]int32, len(c.Gates)),
+	}
+	// Controllability, forward in topological order.
+	for _, gid := range c.Order {
+		g := &c.Gates[gid]
+		switch g.Type {
+		case Input:
+			s.CC0[gid], s.CC1[gid] = 1, 1
+		case Const0:
+			s.CC0[gid], s.CC1[gid] = 0, ScoapInf
+		case Const1:
+			s.CC0[gid], s.CC1[gid] = ScoapInf, 0
+		case Buf, Output, DFF:
+			s.CC0[gid] = satAdd(s.CC0[g.Fanin[0]], 1)
+			s.CC1[gid] = satAdd(s.CC1[g.Fanin[0]], 1)
+		case Not:
+			s.CC0[gid] = satAdd(s.CC1[g.Fanin[0]], 1)
+			s.CC1[gid] = satAdd(s.CC0[g.Fanin[0]], 1)
+		case And, Nand, Or, Nor:
+			ctrl, _ := g.Type.Controlling()
+			// Output at the "forced" value: one input controlling
+			// (cheapest); at the other value: all inputs
+			// non-controlling (sum).
+			cheapest := int32(ScoapInf)
+			var sum int32 = 1
+			for _, fi := range g.Fanin {
+				cCtrl, cNon := s.CC0[fi], s.CC1[fi]
+				if ctrl {
+					cCtrl, cNon = s.CC1[fi], s.CC0[fi]
+				}
+				cheapest = min32(cheapest, satAdd(cCtrl, 1))
+				sum = satAdd(sum, cNon)
+			}
+			forced := g.Type.Eval([]bool{ctrl, ctrl}) // output with a controlling input
+			if forced {
+				s.CC1[gid] = cheapest
+				s.CC0[gid] = sum
+			} else {
+				s.CC0[gid] = cheapest
+				s.CC1[gid] = sum
+			}
+		case Xor, Xnor:
+			// Parity: cost ≈ cheapest combination; approximate with
+			// the standard 2-input recursion folded over the inputs.
+			c0, c1 := s.CC0[g.Fanin[0]], s.CC1[g.Fanin[0]]
+			for _, fi := range g.Fanin[1:] {
+				b0, b1 := s.CC0[fi], s.CC1[fi]
+				even := min32(satAdd(c0, b0), satAdd(c1, b1))
+				odd := min32(satAdd(c0, b1), satAdd(c1, b0))
+				c0, c1 = even, odd
+			}
+			inv := g.Type == Xnor
+			if inv {
+				c0, c1 = c1, c0
+			}
+			s.CC0[gid] = satAdd(c0, 1)
+			s.CC1[gid] = satAdd(c1, 1)
+		}
+	}
+	// Observability, backward.
+	for i := range s.CO {
+		s.CO[i] = ScoapInf
+	}
+	for _, o := range c.Outputs {
+		s.CO[o] = 0
+	}
+	for i := len(c.Order) - 1; i >= 0; i-- {
+		gid := c.Order[i]
+		g := &c.Gates[gid]
+		for k, fi := range g.Fanin {
+			var cost int32
+			switch g.Type {
+			case Buf, Not, Output, DFF:
+				cost = satAdd(s.CO[gid], 1)
+			case And, Nand, Or, Nor:
+				ctrl, _ := g.Type.Controlling()
+				cost = satAdd(s.CO[gid], 1)
+				for j, other := range g.Fanin {
+					if j == k {
+						continue
+					}
+					// Side inputs must be non-controlling.
+					if ctrl {
+						cost = satAdd(cost, s.CC0[other])
+					} else {
+						cost = satAdd(cost, s.CC1[other])
+					}
+				}
+			case Xor, Xnor:
+				cost = satAdd(s.CO[gid], 1)
+				for j, other := range g.Fanin {
+					if j == k {
+						continue
+					}
+					cost = satAdd(cost, min32(s.CC0[other], s.CC1[other]))
+				}
+			default:
+				cost = ScoapInf
+			}
+			s.CO[fi] = min32(s.CO[fi], cost)
+		}
+	}
+	return s
+}
+
+// Controllability returns the cost of driving gate g to value v.
+func (s *Scoap) Controllability(g GateID, v bool) int32 {
+	if v {
+		return s.CC1[g]
+	}
+	return s.CC0[g]
+}

@@ -1,0 +1,140 @@
+package circuit
+
+import "testing"
+
+func buildScoapFixture(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("scoap")
+	for _, in := range []string{"a", "b", "c"} {
+		if err := b.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// g1 = AND(a, b); g2 = NOT(c); o = OR(g1, g2)
+	if err := b.AddGate("g1", And, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddGate("g2", Not, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddGate("o", Or, "g1", "g2"); err != nil {
+		t.Fatal(err)
+	}
+	b.MarkOutput("o")
+	c, err := b.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestScoapControllability(t *testing.T) {
+	c := buildScoapFixture(t)
+	s := ComputeScoap(c)
+	a, _ := c.GateByName("a")
+	if s.CC0[a.ID] != 1 || s.CC1[a.ID] != 1 {
+		t.Errorf("input controllability = %d/%d", s.CC0[a.ID], s.CC1[a.ID])
+	}
+	g1, _ := c.GateByName("g1")
+	// AND: CC1 = CC1(a)+CC1(b)+1 = 3; CC0 = min(CC0 inputs)+1 = 2.
+	if s.CC1[g1.ID] != 3 {
+		t.Errorf("AND CC1 = %d, want 3", s.CC1[g1.ID])
+	}
+	if s.CC0[g1.ID] != 2 {
+		t.Errorf("AND CC0 = %d, want 2", s.CC0[g1.ID])
+	}
+	g2, _ := c.GateByName("g2")
+	// NOT: swaps and adds 1.
+	if s.CC0[g2.ID] != 2 || s.CC1[g2.ID] != 2 {
+		t.Errorf("NOT CC = %d/%d", s.CC0[g2.ID], s.CC1[g2.ID])
+	}
+	o, _ := c.GateByName("o")
+	// OR: CC1 = min(CC1(g1), CC1(g2)) + 1 = 3; CC0 = CC0(g1)+CC0(g2)+1 = 5.
+	if s.CC1[o.ID] != 3 {
+		t.Errorf("OR CC1 = %d, want 3", s.CC1[o.ID])
+	}
+	if s.CC0[o.ID] != 5 {
+		t.Errorf("OR CC0 = %d, want 5", s.CC0[o.ID])
+	}
+	if s.Controllability(o.ID, true) != s.CC1[o.ID] {
+		t.Errorf("Controllability accessor wrong")
+	}
+}
+
+func TestScoapObservability(t *testing.T) {
+	c := buildScoapFixture(t)
+	s := ComputeScoap(c)
+	port := c.Outputs[0]
+	if s.CO[port] != 0 {
+		t.Errorf("output port CO = %d", s.CO[port])
+	}
+	o, _ := c.GateByName("o")
+	// o observes through the port: CO = 0 + 1.
+	if s.CO[o.ID] != 1 {
+		t.Errorf("o CO = %d, want 1", s.CO[o.ID])
+	}
+	g1, _ := c.GateByName("g1")
+	// g1 through OR needs g2 = 0: CO(o)+1+CC0(g2) = 1+1+2 = 4.
+	if s.CO[g1.ID] != 4 {
+		t.Errorf("g1 CO = %d, want 4", s.CO[g1.ID])
+	}
+	a, _ := c.GateByName("a")
+	// a through AND needs b = 1: CO(g1)+1+CC1(b) = 4+1+1 = 6.
+	if s.CO[a.ID] != 6 {
+		t.Errorf("a CO = %d, want 6", s.CO[a.ID])
+	}
+}
+
+func TestScoapXor(t *testing.T) {
+	b := NewBuilder("x")
+	_ = b.AddInput("a")
+	_ = b.AddInput("b")
+	_ = b.AddGate("x", Xor, "a", "b")
+	b.MarkOutput("x")
+	c, err := b.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeScoap(c)
+	x, _ := c.GateByName("x")
+	// XOR CC0 = min(1+1, 1+1)+1 = 3; CC1 same by symmetry.
+	if s.CC0[x.ID] != 3 || s.CC1[x.ID] != 3 {
+		t.Errorf("XOR CC = %d/%d, want 3/3", s.CC0[x.ID], s.CC1[x.ID])
+	}
+	a, _ := c.GateByName("a")
+	// a through XOR: CO(x)+1+min(CC(b)) = 1+1+1 = 3.
+	if s.CO[a.ID] != 3 {
+		t.Errorf("a CO through XOR = %d, want 3", s.CO[a.ID])
+	}
+}
+
+func TestScoapDanglingUnobservable(t *testing.T) {
+	b := NewBuilder("d")
+	_ = b.AddInput("a")
+	_ = b.AddInput("b")
+	_ = b.AddGate("used", And, "a", "b")
+	_ = b.AddGate("dead", Or, "a", "b") // drives nothing
+	b.MarkOutput("used")
+	c, err := b.Build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeScoap(c)
+	dead, _ := c.GateByName("dead")
+	if s.CO[dead.ID] != ScoapInf {
+		t.Errorf("dead gate CO = %d, want unobservable", s.CO[dead.ID])
+	}
+}
+
+func TestScoapOnGeneratedCircuitFinite(t *testing.T) {
+	c := buildC17(t)
+	s := ComputeScoap(c)
+	for i := range c.Gates {
+		if s.CC0[i] >= ScoapInf || s.CC1[i] >= ScoapInf {
+			t.Errorf("gate %s uncontrollable", c.Gates[i].Name)
+		}
+		if s.CO[i] >= ScoapInf {
+			t.Errorf("gate %s unobservable", c.Gates[i].Name)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/dist"
+	"repro/internal/logicsim"
+	"repro/internal/rng"
+	"repro/internal/timing"
+	"repro/internal/tsim"
+)
+
+// sizeStream separates the defect-size random stream from the
+// instance-sampling stream rooted at the same seed.
+const sizeStream = 0x51ce
+
+// DictConfig configures probabilistic fault dictionary construction.
+type DictConfig struct {
+	// Clk is the cut-off period against which critical probabilities
+	// are defined (Definition D.6).
+	Clk float64
+	// Samples is the number of Monte-Carlo circuit instances.
+	Samples int
+	// Seed roots all randomness (instances and candidate defect sizes).
+	Seed uint64
+	// Workers bounds the parallelism (0 = NumCPU).
+	Workers int
+	// Incremental selects cone-limited defect re-simulation (the
+	// default); turning it off forces full re-simulation per candidate
+	// and exists for validation and for the ablation bench.
+	Incremental bool
+	// SizeDist is the assumed candidate-defect size distribution δ.
+	SizeDist dist.Dist
+}
+
+// Dictionary is the probabilistic fault dictionary: for every suspect
+// arc, the signature probability matrix S_crt against which observed
+// behavior is matched.
+type Dictionary struct {
+	C        *circuit.Circuit
+	Patterns []logicsim.PatternPair
+	Suspects []circuit.ArcID
+	Clk      float64
+
+	M *Matrix   // M_crt: defect-free critical probabilities
+	E []*Matrix // E_crt per suspect
+	S []*Matrix // S_crt = E_crt − M_crt per suspect
+}
+
+// BuildDictionary estimates M_crt and every suspect's E_crt by
+// statistical dynamic timing simulation (Section H-2): the same
+// Monte-Carlo instance samples are used for the defect-free and every
+// defective hypothesis (common random numbers), so the signature
+// S_crt = E_crt − M_crt is nonnegative and has low variance. Per
+// sample and suspect a defect size is drawn from cfg.SizeDist; the
+// defect is re-simulated incrementally over its fan-out cone, and
+// skipped entirely when the suspect arc's driver never transitions
+// under a pattern (the defect cannot change that pattern's response).
+func BuildDictionary(m *timing.Model, patterns []logicsim.PatternPair, suspects []circuit.ArcID, cfg DictConfig) (*Dictionary, error) {
+	c := m.C
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("core: no patterns")
+	}
+	if len(suspects) == 0 {
+		return nil, fmt.Errorf("core: no suspects")
+	}
+	if cfg.Samples < 1 {
+		return nil, fmt.Errorf("core: Samples = %d", cfg.Samples)
+	}
+	if cfg.SizeDist == nil {
+		return nil, fmt.Errorf("core: SizeDist is required")
+	}
+	for _, p := range patterns {
+		if err := tsim.CheckPair(c, p); err != nil {
+			return nil, err
+		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > cfg.Samples {
+		workers = cfg.Samples
+	}
+
+	nOut, nPat, nSus := len(c.Outputs), len(patterns), len(suspects)
+
+	// Per-suspect fan-out cones, shared read-only across workers.
+	cones := make([]circuit.GateSet, nSus)
+	for i, a := range suspects {
+		cones[i] = c.ArcFanoutGates(a)
+	}
+
+	type accum struct {
+		m []int32 // nOut*nPat
+		e []int32 // nSus*nOut*nPat
+	}
+	accums := make([]*accum, workers)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			acc := &accum{
+				m: make([]int32, nOut*nPat),
+				e: make([]int32, nSus*nOut*nPat),
+			}
+			accums[w] = acc
+			eng := tsim.NewEngine(c)
+			engInc := tsim.NewEngine(c)
+			baseFail := make([]bool, nOut)
+			for s := w; s < cfg.Samples; s += workers {
+				inst := m.SampleInstanceSeeded(cfg.Seed, uint64(s))
+				// One defect size per (sample, suspect): a die has a
+				// single defect of one size.
+				sizes := make([]float64, nSus)
+				szRng := rng.New(rng.DeriveN(cfg.Seed, sizeStream, uint64(s)))
+				for i := range sizes {
+					sizes[i] = cfg.SizeDist.Sample(szRng)
+				}
+				for j, pat := range patterns {
+					opts := tsim.AtClock(cfg.Clk)
+					opts.RecordWaveforms = true
+					base := eng.Run(inst.Delays, pat, opts)
+					for oi, o := range c.Outputs {
+						baseFail[oi] = base.Capture[oi] != base.Final[o]
+						if baseFail[oi] {
+							acc.m[oi*nPat+j]++
+						}
+					}
+					for i, arc := range suspects {
+						row := (i*nOut)*nPat + j
+						if !base.Transitioned[c.Arcs[arc].From] {
+							// The defect arc never sees a transition:
+							// E equals the baseline for this pattern.
+							for oi := 0; oi < nOut; oi++ {
+								if baseFail[oi] {
+									acc.e[row+oi*nPat]++
+								}
+							}
+							continue
+						}
+						var res *tsim.Result
+						if cfg.Incremental {
+							res = engInc.RunIncremental(inst.Delays, base, cones[i], arc, sizes[i], cfg.Clk)
+						} else {
+							o2 := tsim.AtClock(cfg.Clk)
+							o2.DefectArc = arc
+							o2.DefectExtra = sizes[i]
+							res = engInc.Run(inst.Delays, pat, o2)
+						}
+						for oi, o := range c.Outputs {
+							if res.Capture[oi] != base.Final[o] {
+								acc.e[row+oi*nPat]++
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	d := &Dictionary{
+		C:        c,
+		Patterns: patterns,
+		Suspects: suspects,
+		Clk:      cfg.Clk,
+		M:        NewMatrix(nOut, nPat),
+		E:        make([]*Matrix, nSus),
+		S:        make([]*Matrix, nSus),
+	}
+	inv := 1.0 / float64(cfg.Samples)
+	for _, acc := range accums {
+		for k, v := range acc.m {
+			d.M.Data[k] += float64(v)
+		}
+	}
+	d.M.Scale(inv)
+	for i := 0; i < nSus; i++ {
+		e := NewMatrix(nOut, nPat)
+		off := i * nOut * nPat
+		for _, acc := range accums {
+			for k := 0; k < nOut*nPat; k++ {
+				e.Data[k] += float64(acc.e[off+k])
+			}
+		}
+		e.Scale(inv)
+		d.E[i] = e
+		d.S[i] = e.Sub(d.M)
+	}
+	return d, nil
+}
+
+// Merge combines two dictionaries built over the SAME suspects and
+// clk but different pattern sets into one whose pattern axis is the
+// concatenation — incremental characterization: add patterns later
+// without re-simulating the old ones. Matrices are concatenated
+// column-wise.
+func Merge(a, b *Dictionary) (*Dictionary, error) {
+	if a.C != b.C {
+		return nil, fmt.Errorf("core: Merge across different circuits")
+	}
+	if a.Clk != b.Clk {
+		return nil, fmt.Errorf("core: Merge with different clk (%v vs %v)", a.Clk, b.Clk)
+	}
+	if len(a.Suspects) != len(b.Suspects) {
+		return nil, fmt.Errorf("core: Merge with different suspect counts")
+	}
+	for i := range a.Suspects {
+		if a.Suspects[i] != b.Suspects[i] {
+			return nil, fmt.Errorf("core: Merge with different suspects at %d", i)
+		}
+	}
+	out := &Dictionary{
+		C:        a.C,
+		Patterns: append(append([]logicsim.PatternPair(nil), a.Patterns...), b.Patterns...),
+		Suspects: append([]circuit.ArcID(nil), a.Suspects...),
+		Clk:      a.Clk,
+		M:        concatCols(a.M, b.M),
+		E:        make([]*Matrix, len(a.E)),
+		S:        make([]*Matrix, len(a.S)),
+	}
+	for i := range a.E {
+		out.E[i] = concatCols(a.E[i], b.E[i])
+		out.S[i] = concatCols(a.S[i], b.S[i])
+	}
+	return out, nil
+}
+
+// concatCols joins two matrices with equal row counts column-wise.
+func concatCols(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("core: concatCols row mismatch")
+	}
+	out := NewMatrix(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*out.Cols:], a.Data[i*a.Cols:(i+1)*a.Cols])
+		copy(out.Data[i*out.Cols+a.Cols:], b.Data[i*b.Cols:(i+1)*b.Cols])
+	}
+	return out
+}
+
+// SimulateBehavior produces the behavior matrix B of one failing die:
+// the instance's delays plus the injected defect, captured at clk for
+// every pattern (Section H-3's defect injection and simulation).
+func SimulateBehavior(c *circuit.Circuit, delays []float64, patterns []logicsim.PatternPair, defectArc circuit.ArcID, defectSize, clk float64) *Behavior {
+	b := NewBehavior(len(c.Outputs), len(patterns))
+	eng := tsim.NewEngine(c)
+	for j, pat := range patterns {
+		opts := tsim.AtClock(clk)
+		opts.DefectArc = defectArc
+		opts.DefectExtra = defectSize
+		res := eng.Run(delays, pat, opts)
+		for i, o := range c.Outputs {
+			b.Set(i, j, res.Capture[i] != res.Final[o])
+		}
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+// Package core implements the paper's primary contribution: delay
+// defect diagnosis over a statistical timing model. It provides
+//
+//   - the probabilistic fault dictionary: the critical-probability
+//     matrix M_crt of the defect-free model, the per-candidate matrices
+//     E_crt under each single-defect hypothesis, and the signature
+//     matrices S_crt = E_crt − M_crt (Definitions D.7, E.1), estimated
+//     by shared-sample Monte-Carlo dynamic timing simulation;
+//   - behavior matrices B observed on failing circuit instances;
+//   - the cause-effect suspect pruning of Algorithm E.1 step 1;
+//   - the diagnosis error functions: Alg_sim Methods I/II/III and the
+//     explicit Euclidean error function of Alg_rev (Sections E, F),
+//     plus a pluggable interface for new error functions;
+//   - ranked-candidate diagnosis with top-K selection.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense |O| × |TP| probability matrix (outputs × patterns),
+// the shape of M_crt, E_crt and S_crt.
+type Matrix struct {
+	Rows, Cols int // Rows = |O| outputs, Cols = |TP| patterns
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add adds v to element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Sub returns m − o clamped at zero element-wise: the signature
+// operation S_crt = max(E_crt − M_crt, 0). With common-random-number
+// estimation E ≥ M holds exactly; the clamp guards the general case.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("core: matrix shape mismatch")
+	}
+	out := NewMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		if d < 0 {
+			d = 0
+		}
+		out.Data[i] = d
+	}
+	return out
+}
+
+// Scale multiplies every element by f in place and returns m.
+func (m *Matrix) Scale(f float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= f
+	}
+	return m
+}
+
+// MaxAbsDiff returns the largest element-wise |m − o|.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	d := 0.0
+	for i := range m.Data {
+		v := m.Data[i] - o.Data[i]
+		if v < 0 {
+			v = -v
+		}
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%.3f", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Behavior is the 0-1 failing-behavior matrix B (Equation 3): entry
+// (i, j) is true when output i fails pattern j at the cut-off period.
+type Behavior struct {
+	Rows, Cols int
+	Data       []bool
+}
+
+// NewBehavior returns an all-pass behavior matrix.
+func NewBehavior(rows, cols int) *Behavior {
+	return &Behavior{Rows: rows, Cols: cols, Data: make([]bool, rows*cols)}
+}
+
+// At returns entry (i, j).
+func (b *Behavior) At(i, j int) bool { return b.Data[i*b.Cols+j] }
+
+// Set assigns entry (i, j).
+func (b *Behavior) Set(i, j int, v bool) { b.Data[i*b.Cols+j] = v }
+
+// AnyFailure reports whether at least one entry fails.
+func (b *Behavior) AnyFailure() bool {
+	for _, v := range b.Data {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// FailCount returns the number of failing entries.
+func (b *Behavior) FailCount() int {
+	n := 0
+	for _, v := range b.Data {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// FailingPatterns returns the pattern indices with at least one
+// failing output.
+func (b *Behavior) FailingPatterns() []int {
+	var out []int
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			if b.At(i, j) {
+				out = append(out, j)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (b *Behavior) String() string {
+	var sb strings.Builder
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			if b.At(i, j) {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/logicsim"
+)
+
+// SuspectArcs performs the cause-effect pruning of Algorithm E.1
+// step 1: an arc is a suspect when, under some failing pattern, it can
+// carry the failure to a failing output — it lies on a statically
+// sensitized transition path to that output, or (since delay faults
+// also surface through dynamic, non-statically-sensitized propagation
+// and captured hazards) it is a transitioning arc inside the failing
+// output's fan-in cone. Arcs into output-port gates are excluded (they
+// are not physical defect locations). The result is sorted by arc ID.
+//
+// The relaxation matters: a strict static-sensitization trace misses
+// defects whose extra delay propagates along paths that the settled
+// logic values do not sensitize, and pruning the true defect out makes
+// diagnosis unwinnable regardless of the error function. The resulting
+// suspect-set sizes are in the range the paper reports (hundreds for
+// the larger circuits); ranking them is exactly the dictionary's job.
+func SuspectArcs(c *circuit.Circuit, patterns []logicsim.PatternPair, b *Behavior) []circuit.ArcID {
+	strict, relaxed := SuspectArcsTiered(c, patterns, b)
+	merged := append(strict, relaxed...)
+	sortArcIDs(merged)
+	return merged
+}
+
+// SuspectArcsTiered is SuspectArcs with the two evidence tiers kept
+// separate: strict holds arcs on statically sensitized paths to
+// failing outputs (the strongest cause-effect evidence), relaxed the
+// remaining transitioning cone arcs. Callers that must cap the suspect
+// count keep the strict tier whole and subsample the relaxed tier.
+// Both slices are sorted by arc ID and mutually disjoint.
+func SuspectArcsTiered(c *circuit.Circuit, patterns []logicsim.PatternPair, b *Behavior) (strict, relaxed []circuit.ArcID) {
+	sensMarked := c.NewArcSet()
+	coneMarked := c.NewArcSet()
+	for j, pat := range patterns {
+		var tr logicsim.Transition
+		simulated := false
+		for i := 0; i < b.Rows; i++ {
+			if !b.At(i, j) {
+				continue
+			}
+			if !simulated {
+				tr = logicsim.SimulatePair(c, pat)
+				simulated = true
+			}
+			for _, aid := range logicsim.SensitizedArcs(c, tr, i).IDs() {
+				sensMarked.Add(aid)
+			}
+			for _, aid := range logicsim.TransitionConeArcs(c, tr, i).IDs() {
+				coneMarked.Add(aid)
+			}
+		}
+	}
+	for _, aid := range sensMarked.IDs() {
+		if c.Gates[c.Arcs[aid].To].Type == circuit.Output {
+			continue
+		}
+		strict = append(strict, aid)
+	}
+	for _, aid := range coneMarked.IDs() {
+		if sensMarked.Has(aid) || c.Gates[c.Arcs[aid].To].Type == circuit.Output {
+			continue
+		}
+		relaxed = append(relaxed, aid)
+	}
+	return strict, relaxed
+}
+
+func sortArcIDs(ids []circuit.ArcID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,74 @@
+package dist
+
+import "math"
+
+// Clark's approximation (C. E. Clark, "The Greatest of a Finite Set of
+// Random Variables", Operations Research 1961) propagates normal
+// approximations through MAX operations. It is the classic analytic
+// alternative to Monte Carlo in statistical static timing analysis; the
+// repository uses it as the fast STA mode and as an ablation baseline
+// against the Monte-Carlo engine.
+
+// stdNormPDF is the standard normal density φ(x).
+func stdNormPDF(x float64) float64 {
+	return math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
+}
+
+// stdNormCDF is the standard normal CDF Φ(x).
+func stdNormCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// SumNormal returns the exact distribution of the sum of two jointly
+// normal variables with correlation rho.
+func SumNormal(a, b Normal, rho float64) Normal {
+	v := a.Variance() + b.Variance() + 2*rho*a.Sigma*b.Sigma
+	if v < 0 {
+		v = 0
+	}
+	return Normal{Mu: a.Mu + b.Mu, Sigma: math.Sqrt(v)}
+}
+
+// MaxNormal returns Clark's moment-matched normal approximation of
+// max(A, B) for jointly normal A, B with correlation rho, along with
+// the tie probability P(A > B).
+func MaxNormal(a, b Normal, rho float64) (Normal, float64) {
+	va, vb := a.Variance(), b.Variance()
+	theta2 := va + vb - 2*rho*a.Sigma*b.Sigma
+	if theta2 <= 0 {
+		// A and B are (numerically) perfectly correlated with equal
+		// spread: the max is whichever has the larger mean.
+		if a.Mu >= b.Mu {
+			return a, 1
+		}
+		return b, 0
+	}
+	theta := math.Sqrt(theta2)
+	alpha := (a.Mu - b.Mu) / theta
+	phi := stdNormPDF(alpha)
+	PhiA := stdNormCDF(alpha)  // P(A > B)
+	PhiB := stdNormCDF(-alpha) // P(B > A)
+
+	m1 := a.Mu*PhiA + b.Mu*PhiB + theta*phi
+	m2 := (va+a.Mu*a.Mu)*PhiA + (vb+b.Mu*b.Mu)*PhiB + (a.Mu+b.Mu)*theta*phi
+	v := m2 - m1*m1
+	if v < 0 {
+		v = 0
+	}
+	return Normal{Mu: m1, Sigma: math.Sqrt(v)}, PhiA
+}
+
+// MaxNormals folds MaxNormal over a set of normals assuming pairwise
+// correlation rho between every pair (a simplification appropriate for
+// the shared-global-factor delay model, where rho = σ_g²/(σ_g²+σ_l²)).
+// It panics on an empty input.
+func MaxNormals(ns []Normal, rho float64) Normal {
+	if len(ns) == 0 {
+		panic("dist: MaxNormals of empty set")
+	}
+	acc := ns[0]
+	for _, n := range ns[1:] {
+		acc, _ = MaxNormal(acc, n, rho)
+	}
+	return acc
+}

@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Lognormal is the distribution of exp(N(Mu, Sigma²)) — a common model
+// for resistive-defect sizes, whose physical size distributions are
+// heavy-tailed (many near-opens, few hard opens). Mu and Sigma are the
+// parameters of the underlying normal, not the mean/stddev of the
+// lognormal itself; use LognormalFromMoments to parameterize by the
+// latter.
+type Lognormal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// LognormalFromMoments returns the lognormal with the given mean and
+// standard deviation. It panics unless both are positive.
+func LognormalFromMoments(mean, std float64) Lognormal {
+	if mean <= 0 || std <= 0 {
+		panic(fmt.Sprintf("dist: lognormal moments must be positive (mean=%v, std=%v)", mean, std))
+	}
+	v := std * std / (mean * mean)
+	sigma2 := math.Log(1 + v)
+	return Lognormal{Mu: math.Log(mean) - sigma2/2, Sigma: math.Sqrt(sigma2)}
+}
+
+// Sample draws a lognormal variate.
+func (l Lognormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Mean returns exp(Mu + Sigma²/2).
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// Variance returns (exp(Sigma²) − 1)·exp(2Mu + Sigma²).
+func (l Lognormal) Variance() float64 {
+	s2 := l.Sigma * l.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*l.Mu+s2)
+}
+
+// Exceed returns P(X > x).
+func (l Lognormal) Exceed(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return Normal{Mu: l.Mu, Sigma: l.Sigma}.Exceed(math.Log(x))
+}
+
+func (l Lognormal) String() string { return fmt.Sprintf("LogN(%g, %g²)", l.Mu, l.Sigma) }
+
+// Triangular is the triangular distribution on [Lo, Hi] with mode Mode
+// — the classic three-point estimate for a defect-size model when only
+// bounds and a most-likely value are known.
+type Triangular struct {
+	Lo, Mode, Hi float64
+}
+
+// Sample draws a triangular variate by inverse transform.
+func (t Triangular) Sample(r *rand.Rand) float64 {
+	u := r.Float64()
+	span := t.Hi - t.Lo
+	if span <= 0 {
+		return t.Lo
+	}
+	fc := (t.Mode - t.Lo) / span
+	if u < fc {
+		return t.Lo + math.Sqrt(u*span*(t.Mode-t.Lo))
+	}
+	return t.Hi - math.Sqrt((1-u)*span*(t.Hi-t.Mode))
+}
+
+// Mean returns (Lo+Mode+Hi)/3.
+func (t Triangular) Mean() float64 { return (t.Lo + t.Mode + t.Hi) / 3 }
+
+// Variance returns the triangular variance.
+func (t Triangular) Variance() float64 {
+	return (t.Lo*t.Lo + t.Mode*t.Mode + t.Hi*t.Hi -
+		t.Lo*t.Mode - t.Lo*t.Hi - t.Mode*t.Hi) / 18
+}
+
+// Exceed returns P(X > x).
+func (t Triangular) Exceed(x float64) float64 {
+	switch {
+	case x <= t.Lo:
+		return 1
+	case x >= t.Hi:
+		return 0
+	}
+	span := t.Hi - t.Lo
+	if x < t.Mode {
+		return 1 - (x-t.Lo)*(x-t.Lo)/(span*(t.Mode-t.Lo))
+	}
+	return (t.Hi - x) * (t.Hi - x) / (span * (t.Hi - t.Mode))
+}
+
+func (t Triangular) String() string {
+	return fmt.Sprintf("Tri[%g, %g, %g]", t.Lo, t.Mode, t.Hi)
+}

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestLognormalFromMoments(t *testing.T) {
+	l := LognormalFromMoments(2.0, 0.5)
+	if !almostEq(l.Mean(), 2.0, 1e-9) {
+		t.Errorf("mean = %v", l.Mean())
+	}
+	if !almostEq(math.Sqrt(l.Variance()), 0.5, 1e-9) {
+		t.Errorf("std = %v", math.Sqrt(l.Variance()))
+	}
+	r := rng.New(3)
+	const N = 100000
+	xs := make([]float64, N)
+	for i := range xs {
+		xs[i] = l.Sample(r)
+		if xs[i] <= 0 {
+			t.Fatalf("non-positive lognormal sample")
+		}
+	}
+	if m := Mean(xs); !almostEq(m, 2.0, 0.02) {
+		t.Errorf("sample mean = %v", m)
+	}
+	if s := Std(xs); !almostEq(s, 0.5, 0.02) {
+		t.Errorf("sample std = %v", s)
+	}
+}
+
+func TestLognormalExceed(t *testing.T) {
+	l := Lognormal{Mu: 0, Sigma: 1}
+	if l.Exceed(-1) != 1 || l.Exceed(0) != 1 {
+		t.Errorf("Exceed below support wrong")
+	}
+	// Median of exp(N(0,1)) is 1.
+	if !almostEq(l.Exceed(1), 0.5, 1e-12) {
+		t.Errorf("Exceed(median) = %v", l.Exceed(1))
+	}
+}
+
+func TestLognormalPanicsOnBadMoments(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("non-positive moments accepted")
+		}
+	}()
+	LognormalFromMoments(0, 1)
+}
+
+func TestTriangularMoments(t *testing.T) {
+	tr := Triangular{Lo: 1, Mode: 2, Hi: 4}
+	if !almostEq(tr.Mean(), 7.0/3.0, 1e-12) {
+		t.Errorf("mean = %v", tr.Mean())
+	}
+	r := rng.New(5)
+	const N = 200000
+	xs := make([]float64, N)
+	for i := range xs {
+		xs[i] = tr.Sample(r)
+		if xs[i] < 1 || xs[i] > 4 {
+			t.Fatalf("sample out of support: %v", xs[i])
+		}
+	}
+	if m := Mean(xs); !almostEq(m, tr.Mean(), 0.01) {
+		t.Errorf("sample mean %v vs %v", m, tr.Mean())
+	}
+	if v := Variance(xs); !almostEq(v, tr.Variance(), 0.01) {
+		t.Errorf("sample var %v vs %v", v, tr.Variance())
+	}
+}
+
+func TestTriangularExceedMatchesMC(t *testing.T) {
+	tr := Triangular{Lo: 0, Mode: 1, Hi: 3}
+	r := rng.New(7)
+	const N = 100000
+	for _, x := range []float64{-1, 0.5, 1, 2, 3, 5} {
+		n := 0
+		rr := rng.New(7)
+		_ = rr
+		for i := 0; i < N; i++ {
+			if tr.Sample(r) > x {
+				n++
+			}
+		}
+		mc := float64(n) / N
+		if !almostEq(mc, tr.Exceed(x), 0.01) {
+			t.Errorf("Exceed(%v) analytic %v vs MC %v", x, tr.Exceed(x), mc)
+		}
+	}
+}
+
+// Property: exceedance is monotone nonincreasing for both new
+// distributions.
+func TestExtraExceedMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		l := LognormalFromMoments(0.5+r.Float64()*3, 0.1+r.Float64())
+		tr := Triangular{Lo: r.Float64(), Mode: 1 + r.Float64(), Hi: 2.5 + r.Float64()}
+		prevL, prevT := 1.1, 1.1
+		for x := -0.5; x < 6; x += 0.25 {
+			el, et := l.Exceed(x), tr.Exceed(x)
+			if el > prevL+1e-12 || et > prevT+1e-12 {
+				return false
+			}
+			if el < 0 || el > 1 || et < 0 || et > 1 {
+				return false
+			}
+			prevL, prevT = el, et
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package dist
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 when fewer
+// than two samples are given, NaN for an empty slice).
+func Variance(xs []float64) float64 {
+	switch len(xs) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// Std returns the sample standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Correlation returns the Pearson correlation coefficient between xs
+// and ys. It panics if the lengths differ and returns NaN when either
+// sample is constant.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("dist: Correlation length mismatch")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// ExceedFrac returns the fraction of samples strictly greater than x —
+// the Monte-Carlo estimator of the critical probability P(X > x).
+func ExceedFrac(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, v := range xs {
+		if v > x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Clamp01 clamps p into [0, 1]; probability arithmetic on Monte-Carlo
+// estimates can step slightly outside the interval.
+func Clamp01(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}

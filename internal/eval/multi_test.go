@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestRunMultiDefect(t *testing.T) {
+	cfg := fastConfig("small", 5)
+	res, err := RunMultiDefect(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NDefects != 2 || len(res.Cases) != 5 {
+		t.Fatalf("result shape: %d defects, %d cases", res.NDefects, len(res.Cases))
+	}
+	for _, cs := range res.Cases {
+		if len(cs.Truth) != 2 {
+			t.Errorf("case %d truth size %d", cs.Instance, len(cs.Truth))
+		}
+		if cs.Escaped {
+			continue
+		}
+		if cs.TruthsInSuspects > 2 || cs.SingleTopKHits > 2 || cs.IterativeHits > 2 {
+			t.Errorf("case %d hit counters exceed truth size: %+v", cs.Instance, cs)
+		}
+		if cs.SingleTopKHits > cs.TruthsInSuspects || cs.IterativeHits > cs.TruthsInSuspects {
+			t.Errorf("case %d hits exceed surviving truths: %+v", cs.Instance, cs)
+		}
+	}
+	if r := res.RecallSingle(); r < 0 || r > 1 {
+		t.Errorf("RecallSingle = %v", r)
+	}
+	if r := res.RecallIterative(); r < 0 || r > 1 {
+		t.Errorf("RecallIterative = %v", r)
+	}
+}
+
+func TestRunMultiDefectValidation(t *testing.T) {
+	if _, err := RunMultiDefect(fastConfig("mini", 1), 0); err == nil {
+		t.Errorf("nDefects=0 accepted")
+	}
+	if _, err := RunMultiDefect(fastConfig("nope", 1), 1); err == nil {
+		t.Errorf("unknown circuit accepted")
+	}
+}
+
+func TestMultiRecallEmpty(t *testing.T) {
+	r := &MultiResult{}
+	if r.RecallSingle() != 0 || r.RecallIterative() != 0 {
+		t.Errorf("empty recall should be 0")
+	}
+}

@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPaperShapeClaims pins the qualitative reproduction targets from
+// DESIGN.md §5 on a CI-sized run: these are the claims the full Table I
+// experiments demonstrate at scale, asserted here on the fast profile
+// so a regression cannot slip in silently.
+func TestPaperShapeClaims(t *testing.T) {
+	cfg := fastConfig("small", 12)
+	cfg.DictSamples = 48
+	res, err := RunCircuit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (1) Success rises with K for every method (strict monotone
+	// checks live in TestSuccessRateMonotoneInK; here: K=10 ≥ K=1).
+	for _, m := range core.Methods {
+		if res.SuccessRate(m, 10) < res.SuccessRate(m, 1) {
+			t.Errorf("%v: success fell with K", m)
+		}
+	}
+
+	// (2) The explicit error function (Alg_rev) beats Method I — the
+	// paper's headline conclusion — at the working K.
+	if res.SuccessRate(core.AlgRev, 5) < res.SuccessRate(core.MethodI, 5) {
+		t.Errorf("Alg_rev (%v) below Method I (%v) at K=5",
+			res.SuccessRate(core.AlgRev, 5), res.SuccessRate(core.MethodI, 5))
+	}
+
+	// (3) Method II also beats Method I (the paper's second-best).
+	if res.SuccessRate(core.MethodII, 5) < res.SuccessRate(core.MethodI, 5) {
+		t.Errorf("Method II below Method I at K=5")
+	}
+
+	// (4) The experiment produces diagnosable cases at all: not every
+	// case escapes, and some case ranks the truth.
+	if res.EscapeRate() > 0.9 {
+		t.Errorf("escape rate %.2f: the regime is broken", res.EscapeRate())
+	}
+	best := 0.0
+	for _, m := range core.Methods {
+		if s := res.SuccessRate(m, 10); s > best {
+			best = s
+		}
+	}
+	if best == 0 {
+		t.Errorf("no method ever ranks the truth within K=10")
+	}
+
+	// (5) Suspect sets are non-trivial (tens to hundreds, not a
+	// handful and not the whole arc set).
+	if ms := res.MeanSuspects(); ms < 10 || ms > 280 {
+		t.Errorf("mean suspects %.0f outside the plausible band", ms)
+	}
+}

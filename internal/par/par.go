@@ -1,0 +1,48 @@
+// Package par provides the bounded fork-join helper used to fan
+// Monte-Carlo samples out across CPUs. Work items are indexed, so each
+// item can derive its own deterministic random stream and results land
+// in preallocated slots — runs are reproducible under any GOMAXPROCS.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines
+// (workers <= 0 selects NumCPU). It returns when all items finish. fn
+// must be safe for concurrent invocation on distinct indices.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

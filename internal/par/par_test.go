@@ -1,0 +1,44 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 1000
+		hits := make([]atomic.Int32, n)
+		For(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Errorf("fn called for empty range")
+	}
+}
+
+func TestForSingleItem(t *testing.T) {
+	var sum atomic.Int64
+	For(1, 8, func(i int) { sum.Add(int64(i + 7)) })
+	if sum.Load() != 7 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+}
+
+func TestForMoreWorkersThanItems(t *testing.T) {
+	var count atomic.Int32
+	For(3, 100, func(int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("count = %d", count.Load())
+	}
+}

@@ -1,0 +1,203 @@
+package path
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/circuit"
+	"repro/internal/synth"
+	"repro/internal/timing"
+)
+
+func diamond(t *testing.T) (*circuit.Circuit, *timing.Model) {
+	t.Helper()
+	src := "INPUT(a)\nOUTPUT(o)\nf = BUF(a)\ns1 = NOT(a)\ns2 = NOT(s1)\no = AND(f, s2)\n"
+	c, err := benchfmt.ParseString(src, "diamond", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, timing.NewModel(c, timing.DefaultParams())
+}
+
+func TestKLongestDiamond(t *testing.T) {
+	c, m := diamond(t)
+	ps := KLongest(c, m.Nominal, 10)
+	// Exactly two input-to-output paths exist.
+	if len(ps) != 2 {
+		t.Fatalf("paths = %d, want 2", len(ps))
+	}
+	if ps[0].Nominal < ps[1].Nominal {
+		t.Errorf("paths not sorted by length")
+	}
+	for _, p := range ps {
+		if err := p.Validate(c); err != nil {
+			t.Errorf("invalid path %v: %v", p.Arcs, err)
+		}
+		// Nominal must equal the arc-delay sum.
+		sum := 0.0
+		for _, a := range p.Arcs {
+			sum += m.Nominal[a]
+		}
+		if math.Abs(sum-p.Nominal) > 1e-12 {
+			t.Errorf("nominal %v != sum %v", p.Nominal, sum)
+		}
+	}
+	// The longest goes through the two-NOT chain (4 arcs incl. port).
+	if len(ps[0].Arcs) != 4 {
+		t.Errorf("longest path has %d arcs, want 4: %s", len(ps[0].Arcs), ps[0].String(c))
+	}
+	if len(ps[1].Arcs) != 3 {
+		t.Errorf("short path has %d arcs, want 3", len(ps[1].Arcs))
+	}
+}
+
+func TestKLongestAgainstSTA(t *testing.T) {
+	c, err := synth.GenerateNamed("small", 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := timing.NewModel(c, timing.DefaultParams())
+	ps := KLongest(c, m.Nominal, 5)
+	if len(ps) == 0 {
+		t.Fatal("no paths")
+	}
+	// The single longest path's nominal equals the nominal-instance
+	// critical delay from STA.
+	arr := m.ArrivalTimes(m.NominalInstance())
+	worst := 0.0
+	for _, o := range c.Outputs {
+		if arr[o] > worst {
+			worst = arr[o]
+		}
+	}
+	if math.Abs(ps[0].Nominal-worst) > 1e-9 {
+		t.Errorf("longest path %v != STA critical %v", ps[0].Nominal, worst)
+	}
+	// Sorted, valid, distinct.
+	seen := map[string]bool{}
+	for i, p := range ps {
+		if err := p.Validate(c); err != nil {
+			t.Errorf("path %d invalid: %v", i, err)
+		}
+		if i > 0 && ps[i-1].Nominal < p.Nominal {
+			t.Errorf("paths out of order at %d", i)
+		}
+		key := ""
+		for _, a := range p.Arcs {
+			key += string(rune(a)) + ","
+		}
+		if seen[key] {
+			t.Errorf("duplicate path at %d", i)
+		}
+		seen[key] = true
+	}
+}
+
+func TestKLongestThrough(t *testing.T) {
+	c, m := diamond(t)
+	f, _ := c.GateByName("f")
+	site := f.InArcs[0] // a -> f, on the short path only
+	ps := KLongestThrough(c, m.Nominal, site, 5)
+	if len(ps) != 1 {
+		t.Fatalf("paths through short arc = %d, want 1", len(ps))
+	}
+	if !ps[0].Contains(site) {
+		t.Errorf("path does not contain the site")
+	}
+	if err := ps[0].Validate(c); err != nil {
+		t.Errorf("invalid: %v", err)
+	}
+}
+
+func TestKLongestThroughRandomSites(t *testing.T) {
+	c, err := synth.GenerateNamed("small", 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := timing.NewModel(c, timing.DefaultParams())
+	global := KLongest(c, m.Nominal, 1)[0]
+	for _, site := range []circuit.ArcID{0, circuit.ArcID(len(c.Arcs) / 3), circuit.ArcID(len(c.Arcs) - 1)} {
+		ps := KLongestThrough(c, m.Nominal, site, 4)
+		if len(ps) == 0 {
+			t.Fatalf("no path through arc %d", site)
+		}
+		for i, p := range ps {
+			if !p.Contains(site) {
+				t.Errorf("site %d path %d misses the site", site, i)
+			}
+			if err := p.Validate(c); err != nil {
+				t.Errorf("site %d path %d invalid: %v", site, i, err)
+			}
+			if p.Nominal > global.Nominal+1e-9 {
+				t.Errorf("through-path longer than global longest")
+			}
+			if i > 0 && ps[i-1].Nominal < p.Nominal-1e-12 {
+				t.Errorf("site %d paths out of order", site)
+			}
+		}
+	}
+}
+
+func TestThroughSiteOnGlobalLongest(t *testing.T) {
+	c, err := synth.GenerateNamed("mini", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := timing.NewModel(c, timing.DefaultParams())
+	global := KLongest(c, m.Nominal, 1)[0]
+	// Pick a site on the global longest path: the best through-path
+	// must equal the global longest.
+	site := global.Arcs[len(global.Arcs)/2]
+	ps := KLongestThrough(c, m.Nominal, site, 1)
+	if len(ps) != 1 || math.Abs(ps[0].Nominal-global.Nominal) > 1e-9 {
+		t.Errorf("through-site best %v, want global %v", ps[0].Nominal, global.Nominal)
+	}
+}
+
+func TestPathGatesAndString(t *testing.T) {
+	c, m := diamond(t)
+	ps := KLongest(c, m.Nominal, 1)
+	gs := ps[0].Gates(c)
+	if len(gs) != len(ps[0].Arcs)+1 {
+		t.Errorf("gates length %d for %d arcs", len(gs), len(ps[0].Arcs))
+	}
+	if c.Gates[gs[0]].Type != circuit.Input {
+		t.Errorf("path does not start at input")
+	}
+	if s := ps[0].String(c); s == "" {
+		t.Errorf("empty String")
+	}
+	if (Path{}).Gates(c) != nil {
+		t.Errorf("empty path Gates should be nil")
+	}
+}
+
+func TestValidateRejectsBadPaths(t *testing.T) {
+	c, _ := diamond(t)
+	if err := (Path{}).Validate(c); err == nil {
+		t.Errorf("empty path validated")
+	}
+	// Discontinuous: two arcs that do not connect.
+	o, _ := c.GateByName("o")
+	bad := Path{Arcs: []circuit.ArcID{o.InArcs[0], o.InArcs[1]}}
+	if err := bad.Validate(c); err == nil {
+		t.Errorf("discontinuous path validated")
+	}
+	// Starts mid-circuit.
+	s2, _ := c.GateByName("s2")
+	mid := Path{Arcs: []circuit.ArcID{s2.InArcs[0]}}
+	if err := mid.Validate(c); err == nil {
+		t.Errorf("mid-start path validated")
+	}
+}
+
+func TestKZeroAndNegative(t *testing.T) {
+	c, m := diamond(t)
+	if KLongest(c, m.Nominal, 0) != nil {
+		t.Errorf("k=0 returned paths")
+	}
+	if KLongestThrough(c, m.Nominal, 0, -1) != nil {
+		t.Errorf("k<0 returned paths")
+	}
+}

@@ -1,0 +1,109 @@
+package timing
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/circuit"
+)
+
+// Statistical criticality (the quantity behind the paper's companion
+// path-selection work [16]): the probability, over manufacturing
+// variation, that an arc lies on the circuit's critical (longest)
+// path. Deterministic STA reports one critical path; under variation
+// the critical path wanders, and arcs are critical with probabilities
+// that this analysis estimates by Monte Carlo.
+
+// Criticality holds per-arc critical-path membership probabilities.
+type Criticality struct {
+	Prob []float64 // indexed by ArcID
+}
+
+// MonteCarloCriticality samples nSamples instances; on each, it
+// computes arrival times, walks the critical path backward from the
+// latest output, and counts each traversed arc. Workers bound the
+// parallelism (0 = NumCPU).
+func (m *Model) MonteCarloCriticality(nSamples int, seed uint64, workers int) *Criticality {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > nSamples {
+		workers = nSamples
+	}
+	counts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			cnt := make([]int32, len(m.C.Arcs))
+			counts[w] = cnt
+			for s := w; s < nSamples; s += workers {
+				inst := m.SampleInstanceSeeded(seed, uint64(s))
+				arr := m.ArrivalTimes(inst)
+				// Latest output; deterministic tie-break on gate ID.
+				worst := m.C.Outputs[0]
+				for _, o := range m.C.Outputs[1:] {
+					if arr[o] > arr[worst] {
+						worst = o
+					}
+				}
+				// Walk backward choosing, at each gate, the pin that
+				// realizes the arrival time.
+				g := worst
+				for len(m.C.Gates[g].Fanin) > 0 {
+					gate := &m.C.Gates[g]
+					bestPin := 0
+					bestT := arr[gate.Fanin[0]] + inst.Delays[gate.InArcs[0]]
+					for k := 1; k < len(gate.Fanin); k++ {
+						if t := arr[gate.Fanin[k]] + inst.Delays[gate.InArcs[k]]; t > bestT {
+							bestT = t
+							bestPin = k
+						}
+					}
+					cnt[gate.InArcs[bestPin]]++
+					g = gate.Fanin[bestPin]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cr := &Criticality{Prob: make([]float64, len(m.C.Arcs))}
+	inv := 1.0 / float64(nSamples)
+	for _, cnt := range counts {
+		for i, v := range cnt {
+			cr.Prob[i] += float64(v) * inv
+		}
+	}
+	return cr
+}
+
+// Top returns the k most critical arcs, most probable first (ties by
+// ascending arc ID).
+func (cr *Criticality) Top(k int) []circuit.ArcID {
+	type pair struct {
+		a circuit.ArcID
+		p float64
+	}
+	ps := make([]pair, 0, len(cr.Prob))
+	for i, p := range cr.Prob {
+		if p > 0 {
+			ps = append(ps, pair{a: circuit.ArcID(i), p: p})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].p != ps[j].p {
+			return ps[i].p > ps[j].p
+		}
+		return ps[i].a < ps[j].a
+	})
+	if len(ps) > k {
+		ps = ps[:k]
+	}
+	out := make([]circuit.ArcID, len(ps))
+	for i, p := range ps {
+		out[i] = p.a
+	}
+	return out
+}

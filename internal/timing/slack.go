@@ -1,0 +1,76 @@
+package timing
+
+import "repro/internal/circuit"
+
+// Slack analysis on a fixed-delay instance: the classic STA required-
+// time computation. An arc's slack is how much extra delay it could
+// absorb before some output misses the cut-off period — the
+// deterministic counterpart of the defect-detectability questions the
+// statistical framework answers in distribution.
+
+// Slacks computes per-arc slack for the instance at cut-off clk:
+// slack(a) = RAT(a.To) − (AT(a.From) + d(a)), where the required
+// arrival time is propagated backward from clk at every output port.
+// Arcs that cannot reach any output have the sentinel slack clk.
+func (m *Model) Slacks(in *Instance, clk float64) []float64 {
+	c := m.C
+	at := m.ArrivalTimes(in)
+	// Required arrival time at each gate's *output*.
+	rat := make([]float64, len(c.Gates))
+	const inf = 1e300
+	for i := range rat {
+		rat[i] = inf
+	}
+	for _, o := range c.Outputs {
+		rat[o] = clk
+	}
+	for i := len(c.Order) - 1; i >= 0; i-- {
+		gid := c.Order[i]
+		g := &c.Gates[gid]
+		for k, fi := range g.Fanin {
+			if r := rat[gid] - in.Delays[g.InArcs[k]]; r < rat[fi] {
+				rat[fi] = r
+			}
+		}
+	}
+	slacks := make([]float64, len(c.Arcs))
+	for i := range c.Arcs {
+		a := &c.Arcs[i]
+		if rat[a.To] >= inf {
+			slacks[i] = clk // unobservable arc: defined, harmless slack
+			continue
+		}
+		slacks[i] = rat[a.To] - (at[a.From] + in.Delays[a.ID])
+	}
+	return slacks
+}
+
+// MinSlackArcs returns the k arcs with the smallest slack, ascending.
+func MinSlackArcs(slacks []float64, k int) []circuit.ArcID {
+	type pair struct {
+		a circuit.ArcID
+		s float64
+	}
+	ps := make([]pair, len(slacks))
+	for i, s := range slacks {
+		ps[i] = pair{a: circuit.ArcID(i), s: s}
+	}
+	// Partial selection sort is fine for small k.
+	if k > len(ps) {
+		k = len(ps)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(ps); j++ {
+			if ps[j].s < ps[best].s || (ps[j].s == ps[best].s && ps[j].a < ps[best].a) {
+				best = j
+			}
+		}
+		ps[i], ps[best] = ps[best], ps[i]
+	}
+	out := make([]circuit.ArcID, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].a
+	}
+	return out
+}

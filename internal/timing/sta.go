@@ -1,0 +1,157 @@
+package timing
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/dist"
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// ArrivalTimes computes topological (latest-transition, i.e. static)
+// arrival times for every gate of a fixed-delay instance: inputs launch
+// at t = 0 and each gate's arrival is the max over its in-arcs of the
+// driver arrival plus the arc delay. The returned slice is indexed by
+// GateID.
+func (m *Model) ArrivalTimes(in *Instance) []float64 {
+	arr := make([]float64, len(m.C.Gates))
+	for _, gid := range m.C.Order {
+		g := &m.C.Gates[gid]
+		if len(g.Fanin) == 0 {
+			arr[gid] = 0
+			continue
+		}
+		best := 0.0
+		for k, fi := range g.Fanin {
+			if t := arr[fi] + in.Delays[g.InArcs[k]]; k == 0 || t > best {
+				best = t
+			}
+		}
+		arr[gid] = best
+	}
+	return arr
+}
+
+// STAResult holds Monte-Carlo statistical STA output: the empirical
+// arrival-time distribution Ar(o_i) per primary output and the circuit
+// delay Δ(C) = max_i Ar(o_i) (Section D-1 of the paper).
+type STAResult struct {
+	Arrivals     []*dist.Empirical // per output, indexed parallel to C.Outputs
+	CircuitDelay *dist.Empirical
+}
+
+// CriticalProb returns the critical probability P(Δ(C) > clk)
+// (Definition D.6).
+func (r *STAResult) CriticalProb(clk float64) float64 {
+	return r.CircuitDelay.Exceed(clk)
+}
+
+// MonteCarloSTA estimates the output arrival distributions by sampling
+// nSamples circuit instances (deterministically derived from seed) and
+// running static timing on each, fanning out across workers goroutines
+// (0 = NumCPU).
+func (m *Model) MonteCarloSTA(nSamples int, seed uint64, workers int) *STAResult {
+	nOut := len(m.C.Outputs)
+	perOut := make([][]float64, nOut)
+	for i := range perOut {
+		perOut[i] = make([]float64, nSamples)
+	}
+	delays := make([]float64, nSamples)
+	par.For(nSamples, workers, func(s int) {
+		in := m.SampleInstanceSeeded(seed, uint64(s))
+		arr := m.ArrivalTimes(in)
+		worst := 0.0
+		for i, o := range m.C.Outputs {
+			t := arr[o]
+			perOut[i][s] = t
+			if t > worst {
+				worst = t
+			}
+		}
+		delays[s] = worst
+	})
+	res := &STAResult{
+		Arrivals:     make([]*dist.Empirical, nOut),
+		CircuitDelay: dist.NewEmpirical(delays),
+	}
+	for i := range perOut {
+		res.Arrivals[i] = dist.NewEmpirical(perOut[i])
+	}
+	return res
+}
+
+// ClarkSTA propagates normal approximations through the circuit using
+// Clark's max operator, with the pairwise correlation implied by the
+// model's global/local split. It returns per-output arrival normals
+// and the circuit-delay normal. This is the fast analytic mode; the
+// ablation bench compares it against MonteCarloSTA.
+func (m *Model) ClarkSTA() (arrivals []dist.Normal, delay dist.Normal) {
+	rho := m.Correlation()
+	arr := make([]dist.Normal, len(m.C.Gates))
+	sigmaRel := sqrtSum(m.P.SigmaGlobal, m.P.SigmaLocal)
+	for _, gid := range m.C.Order {
+		g := &m.C.Gates[gid]
+		if len(g.Fanin) == 0 {
+			arr[gid] = dist.Normal{}
+			continue
+		}
+		var acc dist.Normal
+		for k, fi := range g.Fanin {
+			nom := m.Nominal[g.InArcs[k]]
+			arcN := dist.Normal{Mu: nom, Sigma: nom * sigmaRel}
+			// Arrival and arc delay share the global factor: correlate
+			// the sum with rho as a first-order approximation.
+			cand := dist.SumNormal(arr[fi], arcN, rho)
+			if k == 0 {
+				acc = cand
+			} else {
+				acc, _ = dist.MaxNormal(acc, cand, rho)
+			}
+		}
+		arr[gid] = acc
+	}
+	arrivals = make([]dist.Normal, len(m.C.Outputs))
+	for i, o := range m.C.Outputs {
+		arrivals[i] = arr[o]
+	}
+	delay = dist.MaxNormals(arrivals, rho)
+	return arrivals, delay
+}
+
+func sqrtSum(a, b float64) float64 {
+	return math.Sqrt(a*a + b*b)
+}
+
+// PathDelay returns the fixed timing length of a path (a sequence of
+// arcs) on an instance.
+func PathDelay(in *Instance, arcs []circuit.ArcID) float64 {
+	t := 0.0
+	for _, a := range arcs {
+		t += in.Delays[a]
+	}
+	return t
+}
+
+// TimingLength estimates the statistical timing length TL(p) of a path
+// by Monte Carlo over nSamples instances.
+func (m *Model) TimingLength(arcs []circuit.ArcID, nSamples int, seed uint64) *dist.Empirical {
+	xs := make([]float64, nSamples)
+	par.For(nSamples, 0, func(s int) {
+		in := m.SampleInstanceSeeded(seed, uint64(s))
+		xs[s] = PathDelay(in, arcs)
+	})
+	return dist.NewEmpirical(xs)
+}
+
+// quantileSeed is the sub-stream index used by helpers that need an
+// auxiliary instance stream distinct from the main MC stream.
+const quantileSeed = 0x51a9
+
+// SuggestClock returns the q-quantile of the Monte-Carlo circuit-delay
+// distribution — the natural way to pick the cut-off period clk for an
+// experiment (e.g. q = 0.95 puts 5 % of defect-free dies over clk).
+func (m *Model) SuggestClock(q float64, nSamples int, seed uint64) float64 {
+	res := m.MonteCarloSTA(nSamples, rng.Derive(seed, quantileSeed), 0)
+	return res.CircuitDelay.Quantile(q)
+}

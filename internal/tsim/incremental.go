@@ -1,0 +1,136 @@
+package tsim
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/logicsim"
+)
+
+// pinRef identifies one input pin for dirty-state tracking.
+type pinRef struct {
+	g   circuit.GateID
+	pin int32
+}
+
+// incState augments an Engine with the bookkeeping for repeated
+// incremental runs against one baseline: instead of re-initializing
+// O(|gates|) state per call, the engine records what the previous run
+// touched and undoes exactly that.
+type incState struct {
+	baseInit []bool // identity of the baseline init state currently loaded
+	dirtyG   []circuit.GateID
+	dirtyP   []pinRef
+}
+
+// RunIncremental re-simulates only the fan-out cone of a defect arc,
+// replaying the recorded waveforms of cone-boundary drivers from a
+// baseline run. It produces the same captures as a full Run with the
+// defect overlay whenever:
+//
+//   - base was produced by Run on the same delays, pattern and horizon
+//     with RecordWaveforms set, and
+//   - cone is (a superset of) the transitive fan-out of defectArc.To
+//     (circuit.ArcFanoutGates).
+//
+// The defect can only change the response of gates in that cone — the
+// delayed arc feeds defectArc.To — so everything outside the cone
+// behaves exactly as in the baseline and is served from it.
+//
+// Repeated calls against the same base reuse engine state with an
+// undo log, so the per-call cost scales with cone activity rather than
+// circuit size.
+func (e *Engine) RunIncremental(delays []float64, base *Result, cone circuit.GateSet, defectArc circuit.ArcID, extra, horizon float64) *Result {
+	if base.Waveforms == nil {
+		panic("tsim: RunIncremental requires a baseline with recorded waveforms")
+	}
+	opts := Options{Horizon: horizon, DefectArc: defectArc, DefectExtra: extra}
+	e.prepareIncremental(base.Init)
+
+	var seq int64
+	// Seed: every cone pin driven from outside the cone receives the
+	// baseline waveform of its driver, shifted by the (possibly
+	// defective) arc delay. Cone-internal pins are driven by the
+	// re-simulation itself.
+	for gi := range cone {
+		if !cone[gi] {
+			continue
+		}
+		g := &e.c.Gates[gi]
+		for k, fi := range g.Fanin {
+			if cone.Has(fi) {
+				continue
+			}
+			d := arcDelay(delays, &opts, g.InArcs[k])
+			for _, st := range base.Waveforms[fi] {
+				t := st.T + d
+				if t > horizon {
+					break
+				}
+				e.queue.push(event{t: t, seq: seq, g: circuit.GateID(gi), pin: int32(k), v: st.V})
+				seq++
+			}
+		}
+	}
+	e.drainInc(delays, &opts, &seq, cone)
+	return e.buildResult(base.Init, base.Final, opts, cone, base)
+}
+
+// prepareIncremental restores engine scratch to the baseline init
+// state — via the undo log when the same baseline is already loaded,
+// or with a full reset on first use.
+func (e *Engine) prepareIncremental(init []bool) {
+	if e.inc.baseInit != nil && &e.inc.baseInit[0] == &init[0] && len(e.inc.baseInit) == len(init) {
+		for _, g := range e.inc.dirtyG {
+			e.cur[g] = init[g]
+			e.last[g] = 0
+			e.trans[g] = false
+		}
+		for _, p := range e.inc.dirtyP {
+			e.pins[p.g][p.pin] = init[e.c.Gates[p.g].Fanin[p.pin]]
+		}
+		e.inc.dirtyG = e.inc.dirtyG[:0]
+		e.inc.dirtyP = e.inc.dirtyP[:0]
+		e.queue = e.queue[:0]
+		return
+	}
+	e.reset(init, false)
+	e.inc.baseInit = init
+	e.inc.dirtyG = e.inc.dirtyG[:0]
+	e.inc.dirtyP = e.inc.dirtyP[:0]
+}
+
+// drainInc is drain with cone-restricted propagation and dirty-state
+// logging for the undo reset.
+func (e *Engine) drainInc(delays []float64, opts *Options, seq *int64, cone circuit.GateSet) {
+	for len(e.queue) > 0 {
+		ev := e.queue.pop()
+		if ev.t > opts.Horizon {
+			break
+		}
+		if e.pins[ev.g][ev.pin] == ev.v {
+			continue
+		}
+		e.pins[ev.g][ev.pin] = ev.v
+		e.inc.dirtyP = append(e.inc.dirtyP, pinRef{g: ev.g, pin: ev.pin})
+		newOut := e.c.Gates[ev.g].Type.Eval(e.pins[ev.g])
+		if newOut == e.cur[ev.g] {
+			continue
+		}
+		if !e.trans[ev.g] {
+			e.inc.dirtyG = append(e.inc.dirtyG, ev.g)
+		}
+		e.commit(ev.t, ev.g, newOut, delays, opts, seq, cone)
+	}
+}
+
+// CheckPair validates that a pattern pair matches the circuit's input
+// width, returning a descriptive error instead of the panic that the
+// simulators would raise.
+func CheckPair(c *circuit.Circuit, p logicsim.PatternPair) error {
+	if len(p.V1) != len(c.Inputs) || len(p.V2) != len(c.Inputs) {
+		return fmt.Errorf("tsim: pattern width %d/%d does not match %d inputs",
+			len(p.V1), len(p.V2), len(c.Inputs))
+	}
+	return nil
+}

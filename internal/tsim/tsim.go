@@ -1,0 +1,319 @@
+// Package tsim is the timed (waveform-level) simulator behind the
+// paper's statistical dynamic timing simulation (Definition D.5).
+// Given a fixed-delay circuit instance and a two-vector pattern, it
+// propagates transitions event-by-event under the transport-delay model
+// and samples every primary output at the cut-off period clk — exactly
+// what a capture flop does. A pattern fails an output when the sampled
+// value differs from the settled (logic-domain) value, which makes the
+// error semantics of the behavior matrix B and of the critical
+// probabilities crt_ij identical by construction.
+//
+// Timing model: each pin-to-pin arc is a pure transport delay line into
+// an instantaneous boolean function, i.e. the output of gate g at time
+// t is f(x_1(t-d_1), ..., x_n(t-d_n)) where d_k is the delay of the arc
+// into pin k. Events therefore carry *pin* arrivals; an output commit
+// happens at the moment a delayed pin value changes the function value.
+// This evaluates late-arriving short paths and early-arriving long
+// paths correctly, including hazards (glitches), which a capture at clk
+// observes just as silicon would.
+//
+// The simulator supports defect overlays (extra delay on one arc, the
+// single-defect model D_s) without copying the instance, and an
+// incremental mode that re-simulates only the defect arc's fan-out
+// cone against recorded baseline waveforms — the optimization that
+// makes per-suspect fault dictionary construction tractable.
+package tsim
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/logicsim"
+)
+
+// NoDefect marks the absence of a defect overlay.
+const NoDefect circuit.ArcID = -1
+
+// Options configures one timed simulation run.
+type Options struct {
+	// Horizon is the capture time (the cut-off period clk). Events
+	// later than Horizon cannot change captured values and are
+	// discarded. Use math.Inf(1) to simulate to quiescence.
+	Horizon float64
+	// DefectArc, if not NoDefect, adds DefectExtra to that arc's delay.
+	DefectArc   circuit.ArcID
+	DefectExtra float64
+	// RecordWaveforms retains the full transition history of every
+	// gate, enabling incremental re-simulation against this run.
+	RecordWaveforms bool
+}
+
+// Step is one transition in a recorded waveform.
+type Step struct {
+	T float64
+	V bool
+}
+
+// Result reports one timed simulation.
+type Result struct {
+	// Capture[i] is the value of output i sampled at the horizon.
+	Capture []bool
+	// LastChange[i] is the time of the last committed transition at
+	// output i within the horizon (0 when the output never changes).
+	// With an infinite horizon this is the output's arrival time.
+	LastChange []float64
+	// Transitioned[g] reports whether gate g's output changed at least
+	// once within the horizon.
+	Transitioned []bool
+	// Init and Final are the settled gate values under V1 and V2.
+	Init, Final []bool
+	// Waveforms[g] holds gate g's transitions when recording was
+	// requested (nil otherwise). The initial value is Init[g].
+	Waveforms [][]Step
+}
+
+// FailingOutputs returns indices of outputs whose captured value
+// differs from the settled (logic-correct) value — the entries that
+// would be 1 in the behavior matrix B for this pattern.
+func (r *Result) FailingOutputs(c *circuit.Circuit) []int {
+	var fails []int
+	for i, o := range c.Outputs {
+		if r.Capture[i] != r.Final[o] {
+			fails = append(fails, i)
+		}
+	}
+	return fails
+}
+
+// event is a pending pin arrival: the delayed value v of the driver of
+// pin (g, pin) becomes visible to gate g's function at time t. seq
+// breaks ties deterministically in schedule order.
+type event struct {
+	t   float64
+	seq int64
+	g   circuit.GateID
+	pin int32
+	v   bool
+}
+
+// eventHeap is a binary min-heap ordered by (t, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Engine holds per-goroutine scratch state for repeated simulations of
+// one circuit. Engines are not safe for concurrent use; create one per
+// worker.
+type Engine struct {
+	c     *circuit.Circuit
+	cur   []bool   // current committed output value per gate
+	pins  [][]bool // delayed pin values per gate
+	last  []float64
+	trans []bool
+	queue eventHeap
+	waves [][]Step
+	inc   incState
+}
+
+// NewEngine returns an Engine for circuit c.
+func NewEngine(c *circuit.Circuit) *Engine {
+	pins := make([][]bool, len(c.Gates))
+	for i := range c.Gates {
+		pins[i] = make([]bool, len(c.Gates[i].Fanin))
+	}
+	return &Engine{
+		c:     c,
+		cur:   make([]bool, len(c.Gates)),
+		pins:  pins,
+		last:  make([]float64, len(c.Gates)),
+		trans: make([]bool, len(c.Gates)),
+		waves: make([][]Step, len(c.Gates)),
+	}
+}
+
+// arcDelay resolves an arc's effective delay under the defect overlay.
+func arcDelay(delays []float64, opts *Options, a circuit.ArcID) float64 {
+	d := delays[a]
+	if a == opts.DefectArc {
+		d += opts.DefectExtra
+	}
+	return d
+}
+
+// reset prepares scratch state: committed values and pin values at the
+// V1 settled state.
+func (e *Engine) reset(init []bool, record bool) {
+	copy(e.cur, init)
+	for gi := range e.pins {
+		g := &e.c.Gates[gi]
+		for k, fi := range g.Fanin {
+			e.pins[gi][k] = init[fi]
+		}
+		e.last[gi] = 0
+		e.trans[gi] = false
+		if record {
+			e.waves[gi] = e.waves[gi][:0]
+		}
+	}
+	e.queue = e.queue[:0]
+	e.inc.baseInit = nil // full reset invalidates any loaded baseline
+}
+
+// commit records an output change of gate g at time t and fans the new
+// value out as future pin arrivals.
+func (e *Engine) commit(t float64, g circuit.GateID, v bool, delays []float64, opts *Options, seq *int64, cone circuit.GateSet) {
+	e.cur[g] = v
+	e.last[g] = t
+	e.trans[g] = true
+	if opts.RecordWaveforms {
+		e.waves[g] = append(e.waves[g], Step{T: t, V: v})
+	}
+	for _, ho := range e.c.Gates[g].Fanout {
+		if cone != nil && !cone.Has(ho) {
+			continue
+		}
+		h := &e.c.Gates[ho]
+		for k, fi := range h.Fanin {
+			if fi != g {
+				continue
+			}
+			e.queue.push(event{
+				t:   t + arcDelay(delays, opts, h.InArcs[k]),
+				seq: *seq,
+				g:   ho,
+				pin: int32(k),
+				v:   v,
+			})
+			*seq++
+		}
+	}
+}
+
+// drain processes the event queue until empty or past the horizon.
+// With a non-nil cone, propagation is restricted to cone members
+// (incremental mode).
+func (e *Engine) drain(delays []float64, opts *Options, seq *int64, cone circuit.GateSet) {
+	for len(e.queue) > 0 {
+		ev := e.queue.pop()
+		if ev.t > opts.Horizon {
+			// Delays are strictly positive, so every remaining and
+			// derived event is also past the horizon.
+			break
+		}
+		if e.pins[ev.g][ev.pin] == ev.v {
+			continue
+		}
+		e.pins[ev.g][ev.pin] = ev.v
+		newOut := e.c.Gates[ev.g].Type.Eval(e.pins[ev.g])
+		if newOut == e.cur[ev.g] {
+			continue
+		}
+		e.commit(ev.t, ev.g, newOut, delays, opts, seq, cone)
+	}
+}
+
+// Run simulates pattern pair p on the instance with the given per-arc
+// delays. The returned Result aliases Engine scratch except where
+// documented; it is valid until the next Run call.
+func (e *Engine) Run(delays []float64, p logicsim.PatternPair, opts Options) *Result {
+	c := e.c
+	init := logicsim.Eval(c, p.V1)
+	final := logicsim.Eval(c, p.V2)
+
+	e.reset(init, opts.RecordWaveforms)
+
+	var seq int64
+	// Launch: inputs that differ between the vectors switch at t = 0.
+	for i, g := range c.Inputs {
+		if p.V1[i] != p.V2[i] {
+			e.commit(0, g, p.V2[i], delays, &opts, &seq, nil)
+		}
+	}
+	e.drain(delays, &opts, &seq, nil)
+	return e.buildResult(init, final, opts, nil, nil)
+}
+
+// buildResult assembles the Result; in incremental mode (cone != nil)
+// non-cone outputs are taken from the baseline.
+func (e *Engine) buildResult(init, final []bool, opts Options, cone circuit.GateSet, base *Result) *Result {
+	c := e.c
+	res := &Result{
+		Capture:      make([]bool, len(c.Outputs)),
+		LastChange:   make([]float64, len(c.Outputs)),
+		Transitioned: e.trans,
+		Init:         init,
+		Final:        final,
+	}
+	for i, o := range c.Outputs {
+		if cone == nil || cone.Has(o) {
+			res.Capture[i] = e.cur[o]
+			res.LastChange[i] = e.last[o]
+		} else {
+			res.Capture[i] = base.Capture[i]
+			res.LastChange[i] = base.LastChange[i]
+		}
+	}
+	if opts.RecordWaveforms {
+		res.Waveforms = e.waves
+	}
+	return res
+}
+
+// Simulate is the convenience one-shot form of Engine.Run.
+func Simulate(c *circuit.Circuit, delays []float64, p logicsim.PatternPair, opts Options) *Result {
+	return NewEngine(c).Run(delays, p, opts)
+}
+
+// Quiescent returns Options that simulate to quiescence (infinite
+// horizon) with no defect.
+func Quiescent() Options {
+	return Options{Horizon: math.Inf(1), DefectArc: NoDefect}
+}
+
+// AtClock returns Options that capture at clk with no defect.
+func AtClock(clk float64) Options {
+	return Options{Horizon: clk, DefectArc: NoDefect}
+}
