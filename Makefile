@@ -2,15 +2,26 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz table1 figures ablate clean
+.PHONY: all build vet lint ci test race bench fuzz table1 figures ablate clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# ddd-lint: the repo's own analyzers (detrand, parsafe, floateq,
+# checkerr) run alongside go vet. See DESIGN.md, "Determinism & lint
+# invariants".
+lint: vet
+	$(GO) run ./cmd/ddd-lint ./...
+
+# ci is the pre-merge gate: build, vet, ddd-lint, and the full test
+# suite under the race detector.
+ci: build lint
+	$(GO) test -race ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,81 @@
+// Command ddd-lint runs the repository's custom static-analysis suite:
+//
+//	detrand  — randomness must flow through repro/internal/rng
+//	parsafe  — par.For closures must write to index-disjoint slots
+//	floateq  — no raw ==/!= between probability/delay floats
+//	checkerr — invariant-checker errors must be handled
+//
+// Usage:
+//
+//	go run ./cmd/ddd-lint [-v] [packages]
+//
+// With no arguments it analyzes ./... (test files included). It prints
+// one line per finding, a summary counting reported and suppressed
+// diagnostics, and exits non-zero when anything is reported. See
+// DESIGN.md, "Determinism & lint invariants", for the rules and the
+// //lint:ignore suppression directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checkerr"
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/parsafe"
+)
+
+// Analyzers is the ddd-lint suite in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	detrand.Analyzer,
+	parsafe.Analyzer,
+	floateq.Analyzer,
+	checkerr.Analyzer,
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "also print suppressed diagnostics with their justifications")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ddd-lint [-v] [packages]\n\nAnalyzers:\n")
+		for _, a := range Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-9s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddd-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(Analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ddd-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var reported, suppressed int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if *verbose {
+				fmt.Printf("%s: suppressed (%s): %s [%s]\n", d.Pos, d.SuppressReason, d.Message, d.Analyzer)
+			}
+			continue
+		}
+		reported++
+		fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	fmt.Fprintf(os.Stderr, "ddd-lint: %d package(s), %d issue(s), %d suppressed\n",
+		len(pkgs), reported, suppressed)
+	if reported > 0 {
+		os.Exit(1)
+	}
+}

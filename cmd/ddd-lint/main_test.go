@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestSummaryCountsSuppressed runs the driver against a package with a
+// known //lint:ignore directive (dist's degenerate-histogram guard) and
+// asserts the summary line reports the suppression and the process
+// exits 0.
+func TestSummaryCountsSuppressed(t *testing.T) {
+	cmd := exec.Command("go", "run", ".", "repro/internal/dist")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ddd-lint failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 issue(s), 1 suppressed") {
+		t.Errorf("summary does not count the suppressed diagnostic:\n%s", out)
+	}
+}
+
+// TestVerbosePrintsSuppressed asserts -v surfaces the suppressed
+// finding with its justification.
+func TestVerbosePrintsSuppressed(t *testing.T) {
+	cmd := exec.Command("go", "run", ".", "-v", "repro/internal/dist")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ddd-lint -v failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "suppressed (exact degenerate-sample guard") {
+		t.Errorf("-v does not print the suppression justification:\n%s", out)
+	}
+}

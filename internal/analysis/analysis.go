@@ -1,0 +1,126 @@
+// Package analysis is a minimal, dependency-free static-analysis
+// framework modeled on golang.org/x/tools/go/analysis. The repository
+// cannot vendor x/tools, so this package reimplements the small slice
+// of its API that the ddd-lint analyzers need: an Analyzer value with a
+// Run function, a Pass carrying one type-checked package, and position-
+// tagged Diagnostics. Analyzers written against it keep the x/tools
+// shape, so porting them to the real multichecker later is mechanical.
+//
+// The framework enforces the project-wide invariants that the
+// statistical diagnosis pipeline depends on (see DESIGN.md,
+// "Determinism & lint invariants"): deterministic randomness, parallel
+// write safety under par.For, epsilon-aware float comparison, and
+// checked invariant errors.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run applies the analyzer to one package. It reports problems
+	// via pass.Reportf and returns a non-nil error only for internal
+	// failures (not for findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries the inputs of one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// ImportPath is the package's import path as reported by the
+	// loader ("repro/internal/dist"). Test-variant packages report
+	// the path of the package under test.
+	ImportPath string
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one reported problem.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed is set by ApplySuppressions when a //lint:ignore
+	// directive covers the diagnostic.
+	Suppressed bool
+	// SuppressReason holds the directive's free-text justification
+	// when Suppressed is set.
+	SuppressReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by identifier id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// Run applies each analyzer to each package and returns all
+// diagnostics, sorted by position then analyzer. Suppression
+// directives are already applied: suppressed diagnostics are included
+// with Suppressed set so drivers can count them.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		supp := collectSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				ImportPath: pkg.ImportPath,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			all = append(all, supp.apply(pass.diagnostics)...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := all[i].Pos, all[j].Pos
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// incdec flags every ++/-- statement; it exists only to exercise the
+// driver and the suppression machinery.
+var incdec = &Analyzer{
+	Name: "incdec",
+	Doc:  "flags every ++/-- statement (test analyzer)",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if _, ok := n.(*ast.IncDecStmt); ok {
+					pass.Reportf(n.Pos(), "increment")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// loadSource type-checks an import-free source string into a Package.
+func loadSource(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpkg, info, err := CheckFiles(fset, "p", []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{ImportPath: "p", Fset: fset, Files: []*ast.File{f}, Types: tpkg, TypesInfo: info}
+}
+
+const suppressedSrc = `package p
+
+func f() int {
+	x := 0
+	x++ //lint:ignore incdec trailing directive with a reason
+	x++ //lint:ignore incdec
+	//lint:ignore incdec leading directive with a reason
+	x++
+	x++
+	x++ //lint:ignore otherpass reason names a different analyzer
+	x++ //lint:ignore * wildcard reason
+	return x
+}
+`
+
+func TestSuppression(t *testing.T) {
+	diags, err := Run([]*Analyzer{incdec}, []*Package{loadSource(t, suppressedSrc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 6 {
+		t.Fatalf("got %d diagnostics, want 6: %v", len(diags), diags)
+	}
+	var suppressed, reported int
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+			if d.SuppressReason == "" {
+				t.Errorf("%s: suppressed without a recorded reason", d.Pos)
+			}
+		} else {
+			reported++
+		}
+	}
+	// Line 5 (trailing), line 8 (leading), and line 11 (wildcard) are
+	// suppressed. Line 6 has a directive with no justification text —
+	// it must NOT suppress. Line 9 is uncovered (a trailing directive
+	// does not leak onto the next line) and line 10 names another
+	// analyzer.
+	if suppressed != 3 || reported != 3 {
+		t.Errorf("suppressed=%d reported=%d, want 3/3: %v", suppressed, reported, diags)
+	}
+	wantSuppressedLines := map[int]bool{5: true, 8: true, 11: true}
+	for _, d := range diags {
+		if d.Suppressed != wantSuppressedLines[d.Pos.Line] {
+			t.Errorf("line %d: suppressed=%v, want %v", d.Pos.Line, d.Suppressed, !d.Suppressed)
+		}
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		in     string
+		ok     bool
+		names  []string
+		reason string
+	}{
+		{"floateq exact guard", true, []string{"floateq"}, "exact guard"},
+		{"floateq,detrand shared fixture", true, []string{"floateq", "detrand"}, "shared fixture"},
+		{"* anything goes here", true, nil, "anything goes here"},
+		{"floateq", false, nil, ""},                  // no justification
+		{"", false, nil, ""},                         // empty
+		{"Floateq looks like prose", false, nil, ""}, // no analyzer list
+	}
+	for _, c := range cases {
+		sup, ok := parseDirective(c.in)
+		if ok != c.ok {
+			t.Errorf("parseDirective(%q) ok=%v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if sup.reason != c.reason {
+			t.Errorf("parseDirective(%q) reason=%q, want %q", c.in, sup.reason, c.reason)
+		}
+		for _, n := range c.names {
+			if !sup.analyzers[n] {
+				t.Errorf("parseDirective(%q): analyzer %q not recognized", c.in, n)
+			}
+		}
+		if c.names == nil && sup.analyzers != nil {
+			t.Errorf("parseDirective(%q): want wildcard, got %v", c.in, sup.analyzers)
+		}
+	}
+}
+
+// TestLoad exercises the go list–backed loader on a real module
+// package, including its in-package test variant.
+func TestLoad(t *testing.T) {
+	pkgs, err := Load("repro/internal/par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "repro/internal/par" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("For") == nil {
+		t.Errorf("package types missing For")
+	}
+	// The test variant supersedes the plain package, so par_test.go
+	// must be among the parsed files.
+	foundTest := false
+	for _, f := range p.Files {
+		if name := p.Fset.Position(f.Pos()).Filename; len(name) >= 11 && name[len(name)-11:] == "par_test.go" {
+			foundTest = true
+		}
+	}
+	if !foundTest {
+		t.Errorf("test variant files not loaded")
+	}
+}

@@ -1,0 +1,198 @@
+// Package analysistest runs an analyzer over small fixture packages
+// and compares its diagnostics against expectations written in the
+// fixtures themselves, mirroring golang.org/x/tools' package of the
+// same name.
+//
+// Fixtures live under <dir>/src/<importpath>/ (a GOPATH-like layout).
+// A fixture file marks an expected diagnostic with a trailing comment
+// on the offending line:
+//
+//	rand.Float64() // want `call of math/rand`
+//	a, b := f()    // want `first` `second`
+//
+// Each backquoted (or double-quoted) string is an unanchored regular
+// expression that must match the message of one diagnostic reported on
+// that line. Lines without a want comment must produce no diagnostics.
+//
+// Imports inside fixtures resolve first against the fixture tree (so a
+// fixture can supply a stub repro/internal/par), then against the real
+// build via compiler export data, so fixtures may import the standard
+// library freely.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run applies a to each fixture package (import paths relative to
+// dir/src) and reports expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &sourceImporter{
+		root:     filepath.Join(dir, "src"),
+		fset:     fset,
+		cache:    make(map[string]*loadedPkg),
+		fallback: analysis.NewGoListImporter(fset),
+	}
+	for _, path := range pkgPaths {
+		lp, err := imp.load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		pkg := &analysis.Package{
+			ImportPath: path,
+			Dir:        filepath.Join(imp.root, path),
+			Fset:       fset,
+			Files:      lp.files,
+			Types:      lp.types,
+			TypesInfo:  lp.info,
+		}
+		diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, fset, lp.files, diags)
+	}
+}
+
+type loadedPkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// sourceImporter type-checks fixture packages from source and defers
+// everything else to export data.
+type sourceImporter struct {
+	root     string
+	fset     *token.FileSet
+	cache    map[string]*loadedPkg
+	fallback types.Importer
+}
+
+func (si *sourceImporter) Import(path string) (*types.Package, error) {
+	if lp, ok := si.cache[path]; ok {
+		return lp.types, nil
+	}
+	if _, err := os.Stat(filepath.Join(si.root, path)); err == nil {
+		lp, err := si.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.types, nil
+	}
+	return si.fallback.Import(path)
+}
+
+func (si *sourceImporter) load(path string) (*loadedPkg, error) {
+	if lp, ok := si.cache[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(si.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(si.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	tpkg, info, err := analysis.CheckFiles(si.fset, path, files, si)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	lp := &loadedPkg{files: files, types: tpkg, info: info}
+	si.cache[path] = lp
+	return lp, nil
+}
+
+// expectation is one `want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantArgRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantArgRx.FindAllStringSubmatch(text[len("want "):], -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, raw, err)
+						continue
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

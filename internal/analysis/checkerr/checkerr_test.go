@@ -1,0 +1,12 @@
+package checkerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/checkerr"
+)
+
+func TestCheckerr(t *testing.T) {
+	analysistest.Run(t, "testdata", checkerr.Analyzer, "checkerr_bad", "checkerr_clean")
+}

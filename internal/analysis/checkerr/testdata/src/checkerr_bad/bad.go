@@ -1,0 +1,27 @@
+// Package checkerr_bad discards invariant-checker errors in every
+// form the analyzer recognizes.
+package checkerr_bad
+
+import "fmt"
+
+type Circuit struct{}
+
+func (c *Circuit) Check() error { return fmt.Errorf("broken") }
+
+func Validate() error { return nil }
+
+func CheckBalance(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative")
+	}
+	return nil
+}
+
+func bad(c *Circuit) {
+	c.Check()        // want `result of Check discarded`
+	_ = c.Check()    // want `result of Check discarded`
+	Validate()       // want `result of Validate discarded`
+	CheckBalance(-1) // want `result of CheckBalance discarded`
+	go c.Check()     // want `result of Check discarded`
+	defer c.Check()  // want `result of Check discarded`
+}

@@ -1,0 +1,34 @@
+// Package checkerr_clean must produce zero checkerr diagnostics:
+// every checker result is handled, and Check-prefixed functions that
+// do not return error are not checkers.
+package checkerr_clean
+
+import "fmt"
+
+type Circuit struct{}
+
+func (c *Circuit) Check() error { return nil }
+
+func Validate() error { return nil }
+
+// Checksum starts with "Check" but returns no error, so calling it
+// for effect is fine.
+func Checksum(b []byte) uint32 {
+	var s uint32
+	for _, x := range b {
+		s += uint32(x)
+	}
+	return s
+}
+
+func clean(c *Circuit) error {
+	if err := c.Check(); err != nil {
+		return fmt.Errorf("structure: %w", err)
+	}
+	err := Validate()
+	if err != nil {
+		return err
+	}
+	Checksum([]byte("ok"))
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package detrand_bad exercises every detrand rule against
+// math/rand/v2 and wall-clock seeding.
+package detrand_bad
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func globals() float64 {
+	return rand.Float64() // want `call of math/rand/v2.Float64`
+}
+
+func pick(n int) int {
+	return rand.IntN(n) // want `call of math/rand/v2.IntN`
+}
+
+func construct() *rand.Rand {
+	return rand.New(rand.NewPCG(1, 2)) // want `call of math/rand/v2.New` `call of math/rand/v2.NewPCG`
+}
+
+func clockSeed() uint64 {
+	return uint64(time.Now().UnixNano()) // want `wall-clock value time.Now\(\).UnixNano\(\)`
+}
+
+func clockSeedMillis() int64 {
+	return time.Now().UnixMilli() // want `wall-clock value time.Now\(\).UnixMilli\(\)`
+}

@@ -1,0 +1,8 @@
+package detrand_bad
+
+import oldrand "math/rand"
+
+func v1Globals() int {
+	oldrand.Seed(42)     // want `call of math/rand.Seed`
+	return oldrand.Int() // want `call of math/rand.Int`
+}

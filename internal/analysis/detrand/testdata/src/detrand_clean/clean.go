@@ -1,0 +1,25 @@
+// Package detrand_clean must produce zero detrand diagnostics: all
+// randomness flows through repro/internal/rng, and time.Now is used
+// only for duration measurement, never for seeding.
+package detrand_clean
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func sample(seed uint64) float64 {
+	r := rng.New(seed)
+	return r.Float64()
+}
+
+func perIndex(seed uint64, i int) *rand.Rand {
+	return rng.NewDerived(seed, uint64(i))
+}
+
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

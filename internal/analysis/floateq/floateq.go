@@ -1,0 +1,96 @@
+// Package floateq implements the probability-domain comparison
+// analyzer: raw == / != between floating-point values is almost always
+// wrong for the probabilities and delays this repository computes,
+// because they are produced by Clark-operator arithmetic and
+// Monte-Carlo estimation and differ in the last ulps across otherwise
+// equivalent evaluation orders.
+//
+// The analyzer flags ==/!= where both operands are floating point,
+// except:
+//   - comparisons against the constant 0, the conventional exact
+//     sentinel for "degenerate / not set" (σ == 0, weight != 0);
+//   - code inside approved epsilon helpers (ApproxEqual, EqualWithin,
+//     AlmostEqual), which by definition implement the comparison;
+//   - _test.go files, where bit-exact equality is the point: the
+//     determinism suite asserts reproducibility with != on purpose.
+//
+// Intentional exact comparisons elsewhere (e.g. guarding a division by
+// `hi == lo`) document themselves with //lint:ignore floateq <reason>.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floateq pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= between floats outside epsilon helpers; " +
+		"probabilities and delays need tolerance-aware comparison",
+	Run: run,
+}
+
+// approvedHelpers may compare floats exactly: they are the epsilon
+// machinery itself.
+var approvedHelpers = map[string]bool{
+	"ApproxEqual": true, "EqualWithin": true, "AlmostEqual": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || approvedHelpers[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if be, ok := n.(*ast.BinaryExpr); ok {
+					checkCompare(pass, be)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+		return
+	}
+	if isConstZero(pass, be.X) || isConstZero(pass, be.Y) {
+		return
+	}
+	pass.Reportf(be.OpPos,
+		"%s between float values: use dist.ApproxEqual (or an explicit tolerance) — "+
+			"probabilities/delays are not exactly comparable", be.Op)
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstZero reports whether e is a compile-time constant equal to 0.
+func isConstZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv := pass.TypesInfo.Types[e]
+	return tv.Value != nil && tv.Value.Kind() != constant.Unknown &&
+		constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,19 @@
+// Package floateq_bad compares probabilities and delays with raw
+// equality — the operations floateq exists to reject.
+package floateq_bad
+
+func equal(a, b float64) bool {
+	return a == b // want `== between float values`
+}
+
+func notEqual(p, q float64) bool {
+	return p != q // want `!= between float values`
+}
+
+func certain(p float64) bool {
+	return p == 1.0 // want `== between float values`
+}
+
+func half(p float32) bool {
+	return p != 0.5 // want `!= between float values`
+}

@@ -1,0 +1,23 @@
+// Package floateq_clean must produce zero floateq diagnostics:
+// zero-sentinel checks, integer equality, and the approved epsilon
+// helpers are all legal.
+package floateq_clean
+
+import "math"
+
+func degenerate(sigma float64) bool { return sigma == 0 }
+
+func nonzeroWeight(w float64) bool { return w != 0 }
+
+func ints(a, b int) bool { return a == b }
+
+// ApproxEqual is an approved helper: it may compare exactly as its
+// fast path.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func viaHelper(a, b float64) bool { return ApproxEqual(a, b, 1e-9) }

@@ -1,0 +1,5 @@
+package floateq_clean
+
+// Test files may assert bit-exact reproducibility: the determinism
+// suite depends on it, so floateq skips *_test.go entirely.
+func exactDeterminism(a, b float64) bool { return a == b }

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	// ImportPath is the canonical import path; in-package test
+	// variants ("p [p.test]") report the path of the tested package.
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage mirrors the subset of `go list -json` output the
+// loader consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	ForTest    string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load loads the packages matching patterns, including their in-package
+// test variants, with full type information. Dependencies (including
+// the standard library) are imported from compiler export data produced
+// by `go list -export`, so loading works offline and needs nothing
+// beyond the Go toolchain.
+func Load(patterns ...string) ([]*Package, error) {
+	records, err := goList(append([]string{"-deps", "-test"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(records))
+	for _, r := range records {
+		byPath[r.ImportPath] = r
+	}
+
+	// An in-package test variant "p [p.test]" contains every file of
+	// p plus its _test.go files; when one is present, analyzing the
+	// plain package too would double-report the shared files.
+	hasTestVariant := make(map[string]bool)
+	for _, r := range records {
+		if r.DepOnly || r.ForTest == "" {
+			continue
+		}
+		if strings.HasPrefix(r.ImportPath, r.ForTest+" [") {
+			hasTestVariant[r.ForTest] = true
+		}
+	}
+
+	var pkgs []*Package
+	for _, r := range records {
+		switch {
+		case r.DepOnly,
+			len(r.GoFiles) == 0,
+			strings.HasSuffix(r.ImportPath, ".test"), // synthesized test main
+			r.ForTest == "" && hasTestVariant[r.ImportPath]:
+			continue
+		}
+		if r.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", r.ImportPath, r.Error.Err)
+		}
+		if len(r.CgoFiles) > 0 {
+			return nil, fmt.Errorf("load %s: cgo packages are not supported", r.ImportPath)
+		}
+		pkg, err := checkListed(r, byPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkListed parses and type-checks one listed package, importing its
+// dependencies from export data.
+func checkListed(r *listedPackage, byPath map[string]*listedPackage) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range r.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(r.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Resolve each import through this package's ImportMap (which
+	// redirects to test variants where applicable) and open the
+	// resolved package's export data.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := r.ImportMap[path]; ok {
+			path = mapped
+		}
+		dep, ok := byPath[path]
+		if !ok || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	canonical := r.ImportPath
+	if i := strings.Index(canonical, " ["); i >= 0 {
+		canonical = canonical[:i]
+	}
+	tpkg, info, err := CheckFiles(fset, canonical, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", r.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: canonical,
+		Dir:        r.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// CheckFiles type-checks one package's parsed files with full
+// analysis-grade type information.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tpkg, info, nil
+}
+
+// NewGoListImporter returns an importer that resolves any import path —
+// standard library or module — by asking the go command for compiler
+// export data on first use. analysistest uses it so testdata packages
+// can import real packages without a network or a vendored toolchain.
+func NewGoListImporter(fset *token.FileSet) types.Importer {
+	exports := make(map[string]string)
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			records, err := goList("-deps", path)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range records {
+				if r.Export != "" {
+					exports[r.ImportPath] = r.Export
+				}
+			}
+			file, ok = exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// goList runs `go list -e -export -json` with the given extra
+// arguments and decodes the record stream.
+func goList(args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-export", "-json"}, args...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+	var records []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		r := new(listedPackage)
+		if err := dec.Decode(r); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		records = append(records, r)
+	}
+	return records, nil
+}

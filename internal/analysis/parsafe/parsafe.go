@@ -1,0 +1,209 @@
+// Package parsafe implements the parallel-safety analyzer for the
+// fork-join helper repro/internal/par.
+//
+// par.For's contract (stated in par.go) is that fn(i) runs concurrently
+// for distinct i, so every write fn performs to state shared across
+// iterations must land in a slot selected by the loop parameter — the
+// index-disjoint-slot discipline that makes Monte-Carlo fan-out both
+// race-free and deterministic.
+//
+// For each function literal passed to par.For, the analyzer flags:
+//   - assignments (or ++/--) whose target is a variable captured from
+//     an enclosing scope ("delays = append(delays, x)");
+//   - element or field writes through a captured base where no index in
+//     the access chain is derived from the loop parameter
+//     ("hist[k]++" with captured k, "res.Total += x");
+//   - any write into a captured map, which is unsafe under concurrency
+//     regardless of the key.
+//
+// An index counts as loop-derived when it mentions the loop parameter
+// or any variable declared inside the closure (locals are almost
+// always computed from the parameter; this keeps the check useful
+// without inter-statement dataflow). False positives carry a
+// //lint:ignore parsafe escape hatch.
+package parsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the parsafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "parsafe",
+	Doc: "in closures run by par.For, writes to captured state must be " +
+		"indexed by the loop parameter (index-disjoint slots)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParFor(pass, call) || len(call.Args) != 3 {
+				return true
+			}
+			fn, ok := call.Args[2].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkBody(pass, fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// isParFor reports whether call invokes repro/internal/par.For.
+func isParFor(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Name() != "For" || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), "internal/par")
+}
+
+// checker analyzes one closure body.
+type checker struct {
+	pass  *analysis.Pass
+	fn    *ast.FuncLit
+	param types.Object // the loop-index parameter
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncLit) {
+	params := fn.Type.Params.List
+	if len(params) != 1 || len(params[0].Names) != 1 {
+		return
+	}
+	c := &checker{pass: pass, fn: fn, param: pass.ObjectOf(params[0].Names[0])}
+	// Nested closures are inspected too: they execute within the
+	// iteration's dynamic extent, so the same slot discipline applies.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				for _, lhs := range n.Lhs {
+					c.checkWrite(lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(n.X)
+		}
+		return true
+	})
+}
+
+// checkWrite inspects one assignment target.
+func (c *checker) checkWrite(lhs ast.Expr) {
+	base, indexed, mapWrite := c.splitChain(lhs)
+	if base == nil {
+		return
+	}
+	obj := c.pass.ObjectOf(base)
+	if obj == nil || !c.isCaptured(obj) {
+		return
+	}
+	switch {
+	case mapWrite:
+		c.pass.Reportf(lhs.Pos(),
+			"write into captured map %q inside par.For body: concurrent map writes race; use a slice indexed by the loop parameter",
+			base.Name)
+	case indexed:
+		// The slot is selected by the loop parameter (or a local
+		// derived from it): iteration-private, allowed.
+	case ast.Unparen(lhs) == ast.Expr(base):
+		c.pass.Reportf(lhs.Pos(),
+			"write to captured variable %q inside par.For body: results must go to a per-index slot (e.g. %s[%s])",
+			base.Name, base.Name, c.paramName())
+	default:
+		c.pass.Reportf(lhs.Pos(),
+			"write through captured %q is not indexed by the loop parameter %q: concurrent iterations may hit the same slot",
+			base.Name, c.paramName())
+	}
+}
+
+func (c *checker) paramName() string {
+	if c.param == nil {
+		return "i"
+	}
+	return c.param.Name()
+}
+
+// splitChain walks an assignment target like a.b[i].c[j] down to its
+// base identifier. It returns indexed=true when at least one index (or
+// a field path below one) is derived from the loop parameter, making
+// the slot iteration-private. mapWrite is set when the outermost index
+// applies to a map.
+func (c *checker) splitChain(e ast.Expr) (base *ast.Ident, indexed bool, mapWrite bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, indexed, mapWrite
+		case *ast.SelectorExpr:
+			// Writing v.Field: keep descending; a selector on a
+			// pointer captured from outside still aliases shared
+			// state, so the verdict rests on the base + indices.
+			e = x.X
+		case *ast.IndexExpr:
+			if t := c.pass.TypeOf(x.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					mapWrite = true
+				}
+			}
+			if c.loopDerived(x.Index) {
+				indexed = true
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, indexed, mapWrite
+		}
+	}
+}
+
+// loopDerived reports whether expr mentions the loop parameter or any
+// variable declared inside the closure body.
+func (c *checker) loopDerived(expr ast.Expr) bool {
+	derived := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := c.pass.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if obj == c.param || !c.isCaptured(obj) && obj.Pos().IsValid() && insideFn(c.fn, obj.Pos()) {
+			derived = true
+			return false
+		}
+		return true
+	})
+	return derived
+}
+
+// isCaptured reports whether obj is a variable declared outside the
+// closure (including package-level variables).
+func (c *checker) isCaptured(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return !insideFn(c.fn, obj.Pos())
+}
+
+func insideFn(fn *ast.FuncLit, pos token.Pos) bool {
+	return pos >= fn.Pos() && pos <= fn.End()
+}

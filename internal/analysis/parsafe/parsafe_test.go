@@ -1,0 +1,12 @@
+package parsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/parsafe"
+)
+
+func TestParsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", parsafe.Analyzer, "parsafe_bad", "parsafe_clean")
+}

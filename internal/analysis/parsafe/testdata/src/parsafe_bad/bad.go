@@ -1,0 +1,28 @@
+// Package parsafe_bad violates the index-disjoint-slot contract of
+// par.For in every way the analyzer knows about.
+package parsafe_bad
+
+import "repro/internal/par"
+
+func bad(n int) float64 {
+	sum := 0.0
+	hits := make(map[int]int)
+	out := make([]float64, n)
+	var events []int
+	k := 3
+	par.For(n, 0, func(i int) {
+		sum += 1.0                 // want `write to captured variable "sum"`
+		hits[i] = 1                // want `write into captured map "hits"`
+		out[k] = 2.0               // want `not indexed by the loop parameter`
+		events = append(events, i) // want `write to captured variable "events"`
+	})
+	return sum + out[0] + float64(len(hits)+len(events))
+}
+
+type tally struct{ total int }
+
+func badField(n int, t *tally) {
+	par.For(n, 0, func(i int) {
+		t.total++ // want `write through captured "t"`
+	})
+}

@@ -1,0 +1,36 @@
+// Package parsafe_clean follows the par.For contract: every write to
+// shared state lands in a slot selected by the loop parameter, and all
+// other mutation is closure-local.
+package parsafe_clean
+
+import "repro/internal/par"
+
+func clean(n, m int) []float64 {
+	out := make([]float64, n)
+	grid := make([][]float64, n)
+	for i := range grid {
+		grid[i] = make([]float64, m)
+	}
+	par.For(n, 0, func(s int) {
+		local := 0.0
+		for j := 0; j < m; j++ {
+			local += float64(j)
+			grid[s][j] = local
+		}
+		row := grid[s]
+		for j := range row {
+			row[j] *= 2
+		}
+		out[s] = local
+	})
+	return out
+}
+
+func cleanDerivedIndex(n int, xs []float64) {
+	par.For(n, 0, func(i int) {
+		j := 2 * i
+		if j < len(xs) {
+			xs[j] = float64(i)
+		}
+	})
+}

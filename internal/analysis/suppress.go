@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A //lint:ignore directive suppresses diagnostics from named
+// analyzers. A trailing directive (code precedes it on its line)
+// covers its own line; a directive on a line of its own covers the
+// line immediately below it:
+//
+//	if lo == hi { ... } //lint:ignore floateq exact guard against div-by-zero
+//
+//	//lint:ignore floateq detrand reason text
+//	if lo == hi { ... }
+//
+// The analyzer list is a comma-or-space separated set of analyzer
+// names, or "*" to match any analyzer. Everything after the analyzer
+// list is the required free-text justification; directives without a
+// justification are ignored (and therefore suppress nothing), which
+// keeps every suppression self-documenting.
+type suppression struct {
+	analyzers map[string]bool // nil ⇒ wildcard
+	reason    string
+}
+
+type suppressionSet struct {
+	// byLine maps filename → line → directives covering that line.
+	byLine map[string]map[int][]suppression
+}
+
+const ignoreDirective = "lint:ignore"
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	s := &suppressionSet{byLine: make(map[string]map[int][]suppression)}
+	for _, f := range files {
+		code := codeLines(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				sup, ok := parseDirective(rest)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]suppression)
+					s.byLine[pos.Filename] = lines
+				}
+				// Trailing form covers its own line; a directive
+				// alone on a line covers the next one.
+				target := pos.Line
+				if !code[pos.Line] {
+					target = fset.Position(c.End()).Line + 1
+				}
+				lines[target] = append(lines[target], sup)
+			}
+		}
+	}
+	return s
+}
+
+// codeLines reports which lines of f contain non-comment tokens.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		if n.Pos().IsValid() {
+			lines[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+	return lines
+}
+
+// parseDirective parses "name1,name2 reason..." (or "* reason...").
+// ok is false when the directive is malformed: no analyzer list or no
+// justification text.
+func parseDirective(rest string) (suppression, bool) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return suppression{}, false
+	}
+	// The first field is the analyzer list; everything after it is
+	// the justification.
+	if !isAnalyzerList(fields[0]) {
+		return suppression{}, false
+	}
+	names := make(map[string]bool)
+	wildcard := false
+	for _, n := range strings.Split(fields[0], ",") {
+		switch n {
+		case "":
+		case "*":
+			wildcard = true
+		default:
+			names[n] = true
+		}
+	}
+	if !wildcard && len(names) == 0 {
+		return suppression{}, false
+	}
+	sup := suppression{reason: strings.Join(fields[1:], " ")}
+	if !wildcard {
+		sup.analyzers = names
+	}
+	return sup, true
+}
+
+func isAnalyzerList(s string) bool {
+	if s == "*" {
+		return true
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == ',', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// apply marks diagnostics covered by a directive as suppressed and
+// returns the full slice (kept and suppressed) so callers can report
+// suppression counts.
+func (s *suppressionSet) apply(diags []Diagnostic) []Diagnostic {
+	for i := range diags {
+		d := &diags[i]
+		for _, sup := range s.byLine[d.Pos.Filename][d.Pos.Line] {
+			if sup.analyzers == nil || sup.analyzers[d.Analyzer] {
+				d.Suppressed = true
+				d.SuppressReason = sup.reason
+				break
+			}
+		}
+	}
+	return diags
+}

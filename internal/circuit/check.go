@@ -12,6 +12,7 @@ func (c *Circuit) Check() error {
 	if len(c.Outputs) == 0 {
 		return fmt.Errorf("circuit %q: no outputs", c.Name)
 	}
+	attached := make([]bool, len(c.Arcs))
 	for i := range c.Gates {
 		g := &c.Gates[i]
 		if g.ID != GateID(i) {
@@ -25,6 +26,13 @@ func (c *Circuit) Check() error {
 			return fmt.Errorf("gate %q: %d in-arcs for %d fan-ins", g.Name, len(g.InArcs), n)
 		}
 		for k, a := range g.InArcs {
+			if a < 0 || int(a) >= len(c.Arcs) {
+				return fmt.Errorf("gate %q pin %d: arc id %d out of range", g.Name, k, a)
+			}
+			if attached[a] {
+				return fmt.Errorf("arc %d attached to more than one input pin", a)
+			}
+			attached[a] = true
 			arc := c.Arcs[a]
 			if arc.To != g.ID || arc.Pin != k || arc.From != g.Fanin[k] {
 				return fmt.Errorf("gate %q pin %d: inconsistent arc %+v", g.Name, k, arc)
@@ -41,6 +49,9 @@ func (c *Circuit) Check() error {
 		}
 		if a.From < 0 || int(a.From) >= len(c.Gates) || a.To < 0 || int(a.To) >= len(c.Gates) {
 			return fmt.Errorf("arc %d endpoints out of range: %+v", i, a)
+		}
+		if !attached[i] {
+			return fmt.Errorf("dangling arc %d (%+v): not attached to any input pin", i, *a)
 		}
 	}
 	if len(c.Order) != len(c.Gates) {

@@ -149,11 +149,11 @@ func (cd *CompressedDictionary) Diagnose(b *Behavior, method Method) []Ranked {
 		out[si] = Ranked{Arc: arc, Score: method.Score(cd.PatternConsistency(si, b))}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			if method.lowerIsBetter() {
-				return out[i].Score < out[j].Score
-			}
-			return out[i].Score > out[j].Score
+		if out[i].Score < out[j].Score {
+			return method.lowerIsBetter()
+		}
+		if out[i].Score > out[j].Score {
+			return !method.lowerIsBetter()
 		}
 		return out[i].Arc < out[j].Arc
 	})

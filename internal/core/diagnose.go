@@ -120,11 +120,11 @@ func (d *Dictionary) Diagnose(b *Behavior, method Method) []Ranked {
 		out[si] = Ranked{Arc: arc, Score: method.Score(phi)}
 	}
 	less := func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			if method.lowerIsBetter() {
-				return out[i].Score < out[j].Score
-			}
-			return out[i].Score > out[j].Score
+		if out[i].Score < out[j].Score {
+			return method.lowerIsBetter()
+		}
+		if out[i].Score > out[j].Score {
+			return !method.lowerIsBetter()
 		}
 		return out[i].Arc < out[j].Arc
 	}
@@ -143,8 +143,11 @@ func (d *Dictionary) DiagnoseErrorFunc(b *Behavior, fn func(phi []float64) float
 		out[si] = Ranked{Arc: arc, Score: fn(d.PatternConsistency(si, b))}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score < out[j].Score
+		if out[i].Score < out[j].Score {
+			return true
+		}
+		if out[i].Score > out[j].Score {
+			return false
 		}
 		return out[i].Arc < out[j].Arc
 	})

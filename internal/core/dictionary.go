@@ -205,7 +205,7 @@ func Merge(a, b *Dictionary) (*Dictionary, error) {
 	if a.C != b.C {
 		return nil, fmt.Errorf("core: Merge across different circuits")
 	}
-	if a.Clk != b.Clk {
+	if a.Clk != b.Clk { //lint:ignore floateq merged dictionaries must share a bit-identical clk; any drift means different test conditions
 		return nil, fmt.Errorf("core: Merge with different clk (%v vs %v)", a.Clk, b.Clk)
 	}
 	if len(a.Suspects) != len(b.Suspects) {

@@ -116,7 +116,7 @@ func (e *Empirical) Histogram(nbins int) (edges, density []float64) {
 	lo, hi := e.Min(), e.Max()
 	edges = make([]float64, nbins)
 	density = make([]float64, nbins)
-	if hi == lo {
+	if hi == lo { //lint:ignore floateq exact degenerate-sample guard; a tolerance would mis-bin nearly-degenerate samples
 		edges[0] = lo
 		density[0] = 1
 		return edges, density

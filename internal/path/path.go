@@ -98,8 +98,11 @@ type entry struct {
 // deterministic tie-breaking on (arc, pidx).
 func topK(es []entry, k int) []entry {
 	sort.Slice(es, func(i, j int) bool {
-		if es[i].delay != es[j].delay {
-			return es[i].delay > es[j].delay
+		if es[i].delay > es[j].delay {
+			return true
+		}
+		if es[i].delay < es[j].delay {
+			return false
 		}
 		if es[i].arc != es[j].arc {
 			return es[i].arc < es[j].arc
@@ -230,8 +233,11 @@ func KLongest(c *circuit.Circuit, nominal []float64, k int) []Path {
 		}
 	}
 	sort.Slice(fins, func(i, j int) bool {
-		if fins[i].delay != fins[j].delay {
-			return fins[i].delay > fins[j].delay
+		if fins[i].delay > fins[j].delay {
+			return true
+		}
+		if fins[i].delay < fins[j].delay {
+			return false
 		}
 		if fins[i].g != fins[j].g {
 			return fins[i].g < fins[j].g
@@ -273,8 +279,11 @@ func KLongestThrough(c *circuit.Circuit, nominal []float64, site circuit.ArcID, 
 		}
 	}
 	sort.Slice(combos, func(i, j int) bool {
-		if combos[i].delay != combos[j].delay {
-			return combos[i].delay > combos[j].delay
+		if combos[i].delay > combos[j].delay {
+			return true
+		}
+		if combos[i].delay < combos[j].delay {
+			return false
 		}
 		if combos[i].pi != combos[j].pi {
 			return combos[i].pi < combos[j].pi

@@ -93,8 +93,11 @@ func (cr *Criticality) Top(k int) []circuit.ArcID {
 		}
 	}
 	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].p != ps[j].p {
-			return ps[i].p > ps[j].p
+		if ps[i].p > ps[j].p {
+			return true
+		}
+		if ps[i].p < ps[j].p {
+			return false
 		}
 		return ps[i].a < ps[j].a
 	})

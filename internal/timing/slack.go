@@ -62,7 +62,12 @@ func MinSlackArcs(slacks []float64, k int) []circuit.ArcID {
 	for i := 0; i < k; i++ {
 		best := i
 		for j := i + 1; j < len(ps); j++ {
-			if ps[j].s < ps[best].s || (ps[j].s == ps[best].s && ps[j].a < ps[best].a) {
+			switch {
+			case ps[j].s < ps[best].s:
+				best = j
+			case ps[best].s < ps[j].s:
+				// keep best
+			case ps[j].a < ps[best].a:
 				best = j
 			}
 		}

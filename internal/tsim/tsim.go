@@ -100,8 +100,11 @@ type event struct {
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+	if h[i].t < h[j].t {
+		return true
+	}
+	if h[i].t > h[j].t {
+		return false
 	}
 	return h[i].seq < h[j].seq
 }
