@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint ci test race bench fuzz table1 figures ablate clean
+.PHONY: all build vet lint ci test race bench bench-serve smoke-serve fuzz table1 figures ablate clean
 
 all: build vet lint test
 
@@ -18,10 +18,16 @@ vet:
 lint: vet
 	$(GO) run ./cmd/ddd-lint ./...
 
-# ci is the pre-merge gate: build, vet, ddd-lint, and the full test
-# suite under the race detector.
-ci: build lint
+# ci is the pre-merge gate: build, vet, ddd-lint, the full test suite
+# under the race detector, and the ddd-serve end-to-end smoke.
+ci: build lint smoke-serve
 	$(GO) test -race ./...
+
+# smoke-serve boots ddd-serve on a random port with a generated test
+# dictionary, sends one diagnose request, asserts 200 + the expected
+# top-1 arc, and shuts down gracefully.
+smoke-serve:
+	$(GO) test ./internal/service -run '^TestSmokeServe$$' -count=1 -v
 
 test:
 	$(GO) test ./...
@@ -34,8 +40,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 
+# bench-serve measures the service's cache-hit diagnosis path and
+# snapshots the benchfmt-parseable output as the committed baseline
+# (benchmarks/serve_baseline.txt).
+bench-serve:
+	$(GO) test ./internal/service -run '^$$' -bench BenchmarkServeDiagnose -benchmem -count 3 \
+		| tee benchmarks/serve_baseline.txt
+
 fuzz:
 	$(GO) test ./internal/benchfmt -fuzz=FuzzParse -fuzztime 30s
+	$(GO) test ./internal/core -fuzz=FuzzLoadDictionary -fuzztime 30s
 
 table1:
 	$(GO) run ./cmd/ddd-table1 -n 20

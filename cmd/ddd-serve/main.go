@@ -1,0 +1,136 @@
+// ddd-serve is the concurrent diagnosis service: a long-running
+// HTTP/JSON daemon answering delay-defect diagnosis requests against
+// precomputed compressed fault dictionaries (built by ddd-dict).
+//
+// Usage:
+//
+//	ddd-dict build -profile small -o dicts/small.dict
+//	ddd-serve -dicts dicts [-addr :8344] [-preload small | -preload all]
+//
+//	curl -s localhost:8344/v1/dicts
+//	curl -s localhost:8344/v1/dicts/small
+//	curl -s -X POST localhost:8344/v1/diagnose -d '{
+//	    "dict": "small", "method": "Alg_rev", "k": 5,
+//	    "behavior": ["0100...", ...]}'
+//	curl -s localhost:8344/stats
+//
+// Endpoints: POST /v1/diagnose, GET /v1/dicts, GET /v1/dicts/{id},
+// GET /healthz, GET /readyz (503 until the preload list is warm),
+// GET /stats. SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	dicts := flag.String("dicts", "", "dictionary directory (required; files named <id>.dict)")
+	cacheMB := flag.Int64("cache-mb", 256, "dictionary cache budget in MiB")
+	shards := flag.Int("shards", 8, "cache shard count")
+	workers := flag.Int("workers", 0, "diagnosis workers (0 = NumCPU)")
+	queue := flag.Int("queue", 64, "worker queue depth (full queue answers 429)")
+	batchWorkers := flag.Int("batch-workers", 0, "parallelism inside one same-dictionary batch (0 = min(4, NumCPU))")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	preload := flag.String("preload", "", "comma-separated dictionary ids to warm before ready, or \"all\"")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown drain budget")
+	flag.Parse()
+
+	if *dicts == "" {
+		fmt.Fprintln(os.Stderr, "ddd-serve: -dicts is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *dicts, *cacheMB, *shards, *workers, *queue, *batchWorkers, *timeout, *preload, *grace); err != nil {
+		log.Fatalf("ddd-serve: %v", err)
+	}
+}
+
+func run(addr, dicts string, cacheMB int64, shards, workers, queue, batchWorkers int, timeout time.Duration, preload string, grace time.Duration) error {
+	cfg := service.Config{
+		Dir:            dicts,
+		CacheBytes:     cacheMB << 20,
+		CacheShards:    shards,
+		Workers:        workers,
+		QueueDepth:     queue,
+		BatchWorkers:   batchWorkers,
+		RequestTimeout: timeout,
+	}
+	var err error
+	if cfg.Preload, err = preloadList(preload, dicts); err != nil {
+		return err
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(addr); err != nil {
+		return err
+	}
+	log.Printf("serving on %s (dictionaries from %s)", srv.Addr(), dicts)
+
+	// Warm the preload list in the background; /readyz turns 200 when
+	// it completes. A failed preload is fatal — the operator asked for
+	// those dictionaries to be resident.
+	warmErr := make(chan error, 1)
+	go func() {
+		if len(cfg.Preload) > 0 {
+			log.Printf("preloading %d dictionaries", len(cfg.Preload))
+		}
+		warmErr <- srv.Warmup(context.Background())
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-warmErr:
+		if err != nil {
+			shutdown(srv, grace)
+			return err
+		}
+		log.Printf("ready")
+		<-sig
+	case <-sig:
+	}
+	log.Printf("shutting down, draining in-flight requests")
+	return shutdown(srv, grace)
+}
+
+func shutdown(srv *service.Server, grace time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// preloadList expands the -preload flag: empty, "all" (every *.dict in
+// dir), or a comma-separated id list.
+func preloadList(preload, dir string) ([]string, error) {
+	switch preload {
+	case "":
+		return nil, nil
+	case "all":
+		des, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		var ids []string
+		for _, de := range des {
+			if name := de.Name(); !de.IsDir() && strings.HasSuffix(name, ".dict") {
+				ids = append(ids, strings.TrimSuffix(name, ".dict"))
+			}
+		}
+		return ids, nil
+	default:
+		return strings.Split(preload, ","), nil
+	}
+}

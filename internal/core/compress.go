@@ -74,6 +74,12 @@ func Compress(d *Dictionary) *CompressedDictionary {
 	return cd
 }
 
+// Shape returns the signature-matrix shape (|O| outputs × |TP|
+// patterns). Callers validating an observed behavior matrix against
+// the dictionary check it here instead of relying on the panic inside
+// PatternConsistency.
+func (cd *CompressedDictionary) Shape() (rows, cols int) { return cd.rows, cd.cols }
+
 // Bytes returns the approximate in-memory size of the compressed
 // signatures (5 bytes per stored entry).
 func (cd *CompressedDictionary) Bytes() int {

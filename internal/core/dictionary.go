@@ -44,6 +44,10 @@ type Dictionary struct {
 	Patterns []logicsim.PatternPair
 	Suspects []circuit.ArcID
 	Clk      float64
+	// ID optionally names the dictionary (a file stem, a shard id).
+	// Merge quotes it in error messages so a failed combine over a
+	// directory of shards names the offending inputs.
+	ID string
 
 	M *Matrix   // M_crt: defect-free critical probabilities
 	E []*Matrix // E_crt per suspect
@@ -202,22 +206,26 @@ func BuildDictionary(m *timing.Model, patterns []logicsim.PatternPair, suspects 
 // without re-simulating the old ones. Matrices are concatenated
 // column-wise.
 func Merge(a, b *Dictionary) (*Dictionary, error) {
+	ids := func() string { return fmt.Sprintf("%s + %s", dictID(a), dictID(b)) }
 	if a.C != b.C {
-		return nil, fmt.Errorf("core: Merge across different circuits")
+		return nil, fmt.Errorf("core: Merge %s: different circuits", ids())
 	}
 	if a.Clk != b.Clk { //lint:ignore floateq merged dictionaries must share a bit-identical clk; any drift means different test conditions
-		return nil, fmt.Errorf("core: Merge with different clk (%v vs %v)", a.Clk, b.Clk)
+		return nil, fmt.Errorf("core: Merge %s: different clk (%v vs %v)", ids(), a.Clk, b.Clk)
 	}
 	if len(a.Suspects) != len(b.Suspects) {
-		return nil, fmt.Errorf("core: Merge with different suspect counts")
+		return nil, fmt.Errorf("core: Merge %s: different suspect counts (%d vs %d)",
+			ids(), len(a.Suspects), len(b.Suspects))
 	}
 	for i := range a.Suspects {
 		if a.Suspects[i] != b.Suspects[i] {
-			return nil, fmt.Errorf("core: Merge with different suspects at %d", i)
+			return nil, fmt.Errorf("core: Merge %s: different suspects at %d (arc %d vs arc %d)",
+				ids(), i, a.Suspects[i], b.Suspects[i])
 		}
 	}
 	out := &Dictionary{
 		C:        a.C,
+		ID:       a.ID,
 		Patterns: append(append([]logicsim.PatternPair(nil), a.Patterns...), b.Patterns...),
 		Suspects: append([]circuit.ArcID(nil), a.Suspects...),
 		Clk:      a.Clk,
@@ -230,6 +238,14 @@ func Merge(a, b *Dictionary) (*Dictionary, error) {
 		out.S[i] = concatCols(a.S[i], b.S[i])
 	}
 	return out, nil
+}
+
+// dictID names a dictionary for error messages.
+func dictID(d *Dictionary) string {
+	if d.ID == "" {
+		return "<unnamed>"
+	}
+	return d.ID
 }
 
 // concatCols joins two matrices with equal row counts column-wise.

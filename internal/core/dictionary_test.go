@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/atpg"
@@ -231,6 +232,72 @@ func TestMergeValidation(t *testing.T) {
 	}
 	if _, err := Merge(a, c2); err == nil {
 		t.Errorf("clk mismatch accepted")
+	}
+}
+
+func TestMergeErrorsNameDictionaryIDs(t *testing.T) {
+	tb := newBench(t, "mini", 3)
+	cands := tb.inj.CandidateArcs()
+	cfg := tb.dictConfig(16)
+	a, err := BuildDictionary(tb.m, tb.pats, cands[:5], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ID = "shard-a"
+
+	// Clk mismatch: the error names both shards and both clks.
+	cfg2 := cfg
+	cfg2.Clk = cfg.Clk + 1
+	b, err := BuildDictionary(tb.m, tb.pats, cands[:5], cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ID = "shard-b"
+	_, err = Merge(a, b)
+	if err == nil {
+		t.Fatal("clk mismatch accepted")
+	}
+	for _, want := range []string{"shard-a", "shard-b", "clk"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("clk-mismatch error %q does not mention %q", err, want)
+		}
+	}
+
+	// Disjoint suspect sets of equal size: the error names the shards
+	// and the first diverging arc pair.
+	c2, err := BuildDictionary(tb.m, tb.pats, cands[5:10], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.ID = "shard-c"
+	_, err = Merge(a, c2)
+	if err == nil {
+		t.Fatal("disjoint-suspect merge accepted")
+	}
+	for _, want := range []string{"shard-a", "shard-c", "suspects"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("disjoint-suspect error %q does not mention %q", err, want)
+		}
+	}
+
+	// Unnamed dictionaries get a placeholder, not an empty string.
+	c2.ID = ""
+	_, err = Merge(a, c2)
+	if err == nil || !strings.Contains(err.Error(), "<unnamed>") {
+		t.Errorf("unnamed dictionary error = %v, want <unnamed> placeholder", err)
+	}
+
+	// A successful merge keeps the left shard's ID.
+	d2, err := BuildDictionary(tb.m, tb.pats, cands[:5], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(a, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.ID != "shard-a" {
+		t.Errorf("merged ID = %q, want shard-a", merged.ID)
 	}
 }
 

@@ -109,3 +109,34 @@ func (d *Dictionary) DiagnoseNamed(b *Behavior, name string) ([]Ranked, bool) {
 	}
 	return d.DiagnoseErrorFunc(b, fn), true
 }
+
+// DiagnoseErrorFunc ranks suspects of the compressed form with a
+// custom error function (ascending error, arc-ID tie-break), mirroring
+// Dictionary.DiagnoseErrorFunc so stored dictionaries support the
+// extension error functions too.
+func (cd *CompressedDictionary) DiagnoseErrorFunc(b *Behavior, fn ErrorFunc) []Ranked {
+	out := make([]Ranked, len(cd.Suspects))
+	for si, arc := range cd.Suspects {
+		out[si] = Ranked{Arc: arc, Score: fn(cd.PatternConsistency(si, b))}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score < out[j].Score {
+			return true
+		}
+		if out[i].Score > out[j].Score {
+			return false
+		}
+		return out[i].Arc < out[j].Arc
+	})
+	return out
+}
+
+// DiagnoseNamed ranks suspects of the compressed form with a
+// registered error function.
+func (cd *CompressedDictionary) DiagnoseNamed(b *Behavior, name string) ([]Ranked, bool) {
+	fn, ok := ErrorFuncs[name]
+	if !ok {
+		return nil, false
+	}
+	return cd.DiagnoseErrorFunc(b, fn), true
+}

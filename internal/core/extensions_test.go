@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/circuit"
 	"repro/internal/rng"
 )
 
@@ -100,6 +101,43 @@ func TestAutoKEdgeCases(t *testing.T) {
 	}
 	if k, _ := AutoK(one, AlgRev, 0); k != 1 {
 		t.Errorf("maxK=0 K = %d", k)
+	}
+}
+
+func TestAutoKAllEqualScores(t *testing.T) {
+	// A flat score curve has no gap to cut at: K collapses to 1 with a
+	// zero gap (the no-confidence signal the service forwards).
+	flat := make([]Ranked, 6)
+	for i := range flat {
+		flat[i] = Ranked{Arc: circuit.ArcID(i + 1), Score: 0.4}
+	}
+	for _, m := range Methods {
+		k, gap := AutoK(flat, m, 5)
+		if k != 1 || !almostEq2(gap, 0) {
+			t.Errorf("%v flat scores: K = %d gap = %v, want 1, 0", m, k, gap)
+		}
+	}
+}
+
+func TestAutoKCapsAtRankedLength(t *testing.T) {
+	ranked := []Ranked{
+		{Arc: 1, Score: 0.1},
+		{Arc: 2, Score: 0.2},
+		{Arc: 3, Score: 0.9}, // largest gap precedes arc 3
+		{Arc: 4, Score: 0.95},
+	}
+	// maxK far beyond the ranking length behaves exactly like the
+	// largest meaningful cut (len-1) and never exceeds it.
+	kBig, gapBig := AutoK(ranked, AlgRev, 99)
+	kCap, gapCap := AutoK(ranked, AlgRev, len(ranked)-1)
+	if kBig != kCap || !almostEq2(gapBig, gapCap) {
+		t.Errorf("maxK=99 gave %d/%v, maxK=%d gave %d/%v", kBig, gapBig, len(ranked)-1, kCap, gapCap)
+	}
+	if kBig < 1 || kBig > len(ranked) {
+		t.Errorf("K = %d outside [1, %d]", kBig, len(ranked))
+	}
+	if kBig != 2 {
+		t.Errorf("K = %d, want the cut before the 0.7 gap (2)", kBig)
 	}
 }
 

@@ -25,6 +25,15 @@ import (
 const (
 	persistMagic   = "DDD1"
 	persistVersion = 1
+
+	// Decoding bounds. Dictionary files are loaded from disk by
+	// long-running services (cmd/ddd-serve), so the decoder must treat
+	// its input as untrusted: every count is bounded before it sizes an
+	// allocation, and the sparse entries must arrive in the canonical
+	// strictly-increasing order Save emits — PatternConsistency's
+	// column-major walk silently miscomputes on any other order.
+	maxDim   = 1 << 20 // rows, cols, inputs, suspects
+	maxCells = 1 << 28 // rows × cols
 )
 
 // Save writes the dictionary in the binary dictionary format.
@@ -123,9 +132,11 @@ func LoadCompressed(r io.Reader) (*CompressedDictionary, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	const sane = 1 << 24
-	if rows > sane || cols > sane || nIn > sane {
+	if rows > maxDim || cols > maxDim || nIn > maxDim {
 		return nil, 0, fmt.Errorf("core: dictionary header out of range")
+	}
+	if uint64(rows)*uint64(cols) > maxCells {
+		return nil, 0, fmt.Errorf("core: dictionary shape %d x %d out of range", rows, cols)
 	}
 	cd.rows, cd.cols = int(rows), int(cols)
 	nPat, err := readU32()
@@ -150,7 +161,7 @@ func LoadCompressed(r io.Reader) (*CompressedDictionary, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	if nSus > sane {
+	if nSus > maxDim {
 		return nil, 0, fmt.Errorf("core: suspect count out of range")
 	}
 	for s := 0; s < int(nSus); s++ {
@@ -161,31 +172,44 @@ func LoadCompressed(r io.Reader) (*CompressedDictionary, int, error) {
 		cd.Suspects = append(cd.Suspects, circuit.ArcID(a))
 	}
 	cd.entries = make([][]sparseEntry, nSus)
-	maxIdx := int32(cd.rows * cd.cols)
+	maxIdx := uint32(cd.rows * cd.cols)
 	for s := range cd.entries {
 		count, err := readU32()
 		if err != nil {
 			return nil, 0, err
 		}
-		if int(count) > cd.rows*cd.cols {
+		if count > maxIdx {
 			return nil, 0, fmt.Errorf("core: suspect %d entry count %d out of range", s, count)
 		}
-		es := make([]sparseEntry, count)
-		for i := range es {
+		// Size the allocation from the claimed count only up to a
+		// modest cap; a lying header then costs appends, not memory.
+		es := make([]sparseEntry, 0, min(int(count), 1<<15))
+		prev := int64(-1)
+		for i := 0; i < int(count); i++ {
 			idx, err := readU32()
 			if err != nil {
 				return nil, 0, err
 			}
-			if int32(idx) >= maxIdx {
+			if idx >= maxIdx {
 				return nil, 0, fmt.Errorf("core: suspect %d entry index %d out of range", s, idx)
 			}
+			if int64(idx) <= prev {
+				return nil, 0, fmt.Errorf("core: suspect %d entries not in canonical order at %d", s, idx)
+			}
+			prev = int64(idx)
 			q, err := br.ReadByte()
 			if err != nil {
 				return nil, 0, err
 			}
-			es[i] = sparseEntry{idx: int32(idx), q: q}
+			if q == 0 {
+				return nil, 0, fmt.Errorf("core: suspect %d stores a zero entry at %d", s, idx)
+			}
+			es = append(es, sparseEntry{idx: int32(idx), q: q})
 		}
 		cd.entries[s] = es
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, 0, fmt.Errorf("core: trailing data after dictionary")
 	}
 	return cd, int(nIn), nil
 }
@@ -196,6 +220,11 @@ func readBits(br *bufio.Reader, n int) (logicsim.Vector, error) {
 	buf := make([]byte, nBytes)
 	if _, err := io.ReadFull(br, buf); err != nil {
 		return nil, err
+	}
+	// writeBits zeroes the final byte's padding; reject anything else
+	// so every accepted file has exactly one byte representation.
+	if n%8 != 0 && buf[nBytes-1]>>uint(n%8) != 0 {
+		return nil, fmt.Errorf("core: nonzero padding bits in pattern")
 	}
 	for i := 0; i < n; i++ {
 		v[i] = buf[i/8]>>uint(i%8)&1 == 1

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/logicsim"
+)
+
+// seedDictionaryBytes builds a small, fully valid serialized compressed
+// dictionary without any circuit machinery: Compress and Save only
+// consume the matrices, patterns, suspects and clk.
+func seedDictionaryBytes() []byte {
+	s0 := NewMatrix(2, 2)
+	s0.Set(0, 0, 0.5)
+	s0.Set(1, 1, 0.25)
+	s1 := NewMatrix(2, 2)
+	s1.Set(0, 1, 1.0)
+	s2 := NewMatrix(2, 2) // all-zero signature: no stored entries
+	d := &Dictionary{
+		Patterns: []logicsim.PatternPair{
+			{V1: logicsim.Vector{true, false, true}, V2: logicsim.Vector{false, true, true}},
+			{V1: logicsim.Vector{false, false, true}, V2: logicsim.Vector{true, false, false}},
+		},
+		Suspects: []circuit.ArcID{2, 7, 9},
+		Clk:      1.25,
+		M:        NewMatrix(2, 2),
+		S:        []*Matrix{s0, s1, s2},
+	}
+	var buf bytes.Buffer
+	if err := Compress(d).Save(&buf, 3); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadDictionary exercises the binary decoder against arbitrary
+// bytes: the server (cmd/ddd-serve) loads dictionary files from disk,
+// so decoding must fail with an error — never a panic or a runaway
+// allocation — on truncated or corrupt input, and every input it does
+// accept must be canonical (re-encoding reproduces the bytes exactly).
+func FuzzLoadDictionary(f *testing.F) {
+	valid := seedDictionaryBytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(valid)-1])
+	f.Add(append(append([]byte(nil), valid...), 0x7f))
+	f.Add([]byte(nil))
+	f.Add([]byte("DDD1"))
+	f.Add([]byte("DDD1\x01\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cd, nIn, err := LoadCompressed(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := cd.Save(&buf, nIn); err != nil {
+			t.Fatalf("re-save of accepted dictionary failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted dictionary is not canonical: %d bytes in, %d bytes out", len(data), buf.Len())
+		}
+		// Diagnosis over any accepted dictionary must not panic.
+		rows, cols := cd.Shape()
+		if len(cd.Suspects) == 0 || rows*cols == 0 || rows*cols > 1<<16 {
+			return
+		}
+		b := NewBehavior(rows, cols)
+		for k := range b.Data {
+			b.Data[k] = k%3 == 0
+		}
+		cd.Diagnose(b, AlgRev)
+	})
+}

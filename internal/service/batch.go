@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// diagJob carries one diagnosis request from its HTTP handler to the
+// worker that executes it. The worker writes resp (or status+errMsg)
+// and closes done; the handler is the only other reader.
+type diagJob struct {
+	ctx    context.Context
+	req    *DiagnoseRequest
+	resp   *DiagnoseResponse
+	status int // nonzero = failed, HTTP status to return
+	errMsg string
+	done   chan struct{}
+}
+
+func (j *diagJob) fail(status int, msg string) {
+	j.status, j.errMsg = status, msg
+}
+
+// batcher coalesces concurrent diagnosis requests against the same
+// dictionary into one pool job. The first request for an id schedules
+// a flush; every request that arrives for that id before a worker
+// picks the flush up rides along in the same batch, so the batch pays
+// for one cache lookup (and at most one cold load) regardless of how
+// many clients hit the same dictionary at once. run executes a batch
+// and must close every job's done channel.
+type batcher struct {
+	pool *Pool
+	run  func(id string, jobs []*diagJob)
+
+	mu      sync.Mutex
+	pending map[string][]*diagJob
+
+	batches atomic.Int64
+	batched atomic.Int64
+}
+
+func newBatcher(pool *Pool, run func(id string, jobs []*diagJob)) *batcher {
+	return &batcher{pool: pool, run: run, pending: make(map[string][]*diagJob)}
+}
+
+// enqueue adds j to the pending batch for id, scheduling a flush when
+// j opens the batch. On a Submit error nothing is enqueued and the
+// caller must answer the request itself.
+func (bt *batcher) enqueue(id string, j *diagJob) error {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	if _, open := bt.pending[id]; !open {
+		if err := bt.pool.Submit(func() { bt.flush(id) }); err != nil {
+			return err
+		}
+	}
+	bt.pending[id] = append(bt.pending[id], j)
+	return nil
+}
+
+// flush takes everything pending for id and runs it as one batch.
+func (bt *batcher) flush(id string) {
+	bt.mu.Lock()
+	jobs := bt.pending[id]
+	delete(bt.pending, id)
+	bt.mu.Unlock()
+	if len(jobs) == 0 {
+		return
+	}
+	bt.batches.Add(1)
+	bt.batched.Add(int64(len(jobs)))
+	bt.run(id, jobs)
+}
+
+// BatchStats is a point-in-time snapshot of the batching counters.
+type BatchStats struct {
+	Batches         int64 `json:"batches"`
+	BatchedRequests int64 `json:"batched_requests"`
+}
+
+func (bt *batcher) Stats() BatchStats {
+	return BatchStats{Batches: bt.batches.Load(), BatchedRequests: bt.batched.Load()}
+}

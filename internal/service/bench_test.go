@@ -1,0 +1,47 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServeDiagnose measures the cache-hit request path end to
+// end through the handler stack: JSON decode, batcher enqueue, worker
+// diagnosis, JSON encode. Output is standard go-test benchmark format
+// (benchfmt-parseable); `make bench-serve` snapshots it as the
+// machine-readable baseline.
+func BenchmarkServeDiagnose(b *testing.B) {
+	s := newTestServer(b, func(cfg *Config) {
+		cfg.Preload = []string{"alpha"}
+		cfg.QueueDepth = 1024
+	})
+	if err := s.Warmup(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	body := diagnoseBody(b, "alpha", "Alg_rev", 5)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/diagnose", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	st := s.Stats()
+	if st.Cache.Hits == 0 {
+		b.Fatalf("benchmark did not exercise the cache-hit path: %+v", st.Cache)
+	}
+	b.ReportMetric(float64(st.Batch.BatchedRequests)/float64(max(st.Batch.Batches, 1)), "reqs/batch")
+	_ = s.Shutdown(context.Background())
+}

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// DiagnoseRequest is the body of POST /v1/diagnose: an observed
+// failing behavior matrix to match against one stored dictionary.
+type DiagnoseRequest struct {
+	// Dict is the dictionary id: the file stem of <dir>/<id>.dict.
+	Dict string `json:"dict"`
+	// Method selects the error function: "Alg_rev" (default), the
+	// Alg_sim variants "I"/"II"/"III", or a registered extension error
+	// function ("L1", "chebyshev", "loglik").
+	Method string `json:"method,omitempty"`
+	// Behavior is the 0-1 matrix B, one string per output row, one
+	// '0'/'1' byte per pattern column.
+	Behavior []string `json:"behavior"`
+	// K limits the returned ranking (0 = all suspects).
+	K int `json:"k,omitempty"`
+	// AutoK selects K from the ranked score curve's largest gap
+	// instead; MaxK caps the search (default 10).
+	AutoK bool `json:"auto_k,omitempty"`
+	MaxK  int  `json:"max_k,omitempty"`
+}
+
+// RankedEntry is one candidate of a diagnosis answer.
+type RankedEntry struct {
+	Rank  int     `json:"rank"`
+	Arc   int     `json:"arc"`
+	Score float64 `json:"score"`
+}
+
+// DiagnoseResponse is the answer to one diagnosis request. Identical
+// requests produce byte-identical responses: ranking ties break on
+// ascending arc ID inside core, struct fields marshal in declaration
+// order, and nothing here depends on wall clock or scheduling.
+type DiagnoseResponse struct {
+	Dict     string        `json:"dict"`
+	Method   string        `json:"method"`
+	Suspects int           `json:"suspects"`
+	Patterns int           `json:"patterns"`
+	Clk      float64       `json:"clk"`
+	K        int           `json:"k"`
+	AutoK    bool          `json:"auto_k,omitempty"`
+	Gap      float64       `json:"gap,omitempty"`
+	Ranking  []RankedEntry `json:"ranking"`
+}
+
+// maxRequestBytes bounds a diagnosis request body.
+const maxRequestBytes = 8 << 20
+
+// validID accepts dictionary ids that map to plain file stems: no
+// separators, no dot-runs, nothing the filesystem could interpret.
+func validID(id string) bool {
+	if id == "" || len(id) > 128 || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// resolveMethod maps a request method name to a built-in core.Method
+// or a registered extension error-function name.
+func resolveMethod(name string) (m core.Method, named string, ok bool) {
+	switch name {
+	case "", "rev", "Alg_rev":
+		return core.AlgRev, "", true
+	case "I", "Alg_sim-I":
+		return core.MethodI, "", true
+	case "II", "Alg_sim-II":
+		return core.MethodII, "", true
+	case "III", "Alg_sim-III":
+		return core.MethodIII, "", true
+	}
+	if _, exists := core.ErrorFuncs[name]; exists {
+		return 0, name, true
+	}
+	return 0, "", false
+}
+
+// parseBehavior converts the row strings into a core.Behavior of the
+// dictionary's shape.
+func parseBehavior(rowStrs []string, rows, cols int) (*core.Behavior, error) {
+	if len(rowStrs) != rows {
+		return nil, fmt.Errorf("behavior has %d rows, dictionary expects %d outputs", len(rowStrs), rows)
+	}
+	b := core.NewBehavior(rows, cols)
+	for i, row := range rowStrs {
+		if len(row) != cols {
+			return nil, fmt.Errorf("behavior row %d has %d columns, dictionary expects %d patterns", i, len(row), cols)
+		}
+		for j := 0; j < cols; j++ {
+			switch row[j] {
+			case '0':
+			case '1':
+				b.Set(i, j, true)
+			default:
+				return nil, fmt.Errorf("behavior row %d column %d: %q is not '0' or '1'", i, j, row[j])
+			}
+		}
+	}
+	return b, nil
+}
+
+// diagnoseOne executes one request against a resident dictionary.
+func diagnoseOne(ent *Entry, req *DiagnoseRequest) (*DiagnoseResponse, int, string) {
+	method, named, ok := resolveMethod(req.Method)
+	if !ok {
+		return nil, http.StatusBadRequest, fmt.Sprintf("unknown method %q", req.Method)
+	}
+	rows, cols := ent.Dict.Shape()
+	b, err := parseBehavior(req.Behavior, rows, cols)
+	if err != nil {
+		return nil, http.StatusBadRequest, err.Error()
+	}
+
+	var ranked []core.Ranked
+	methodName := named
+	if named != "" {
+		ranked, _ = ent.Dict.DiagnoseNamed(b, named)
+	} else {
+		ranked = ent.Dict.Diagnose(b, method)
+		methodName = method.String()
+	}
+
+	resp := &DiagnoseResponse{
+		Dict:     ent.ID,
+		Method:   methodName,
+		Suspects: len(ent.Dict.Suspects),
+		Patterns: len(ent.Dict.Patterns),
+		Clk:      ent.Dict.Clk,
+	}
+	k := req.K
+	if req.AutoK {
+		maxK := req.MaxK
+		if maxK <= 0 {
+			maxK = 10
+		}
+		// Extension error functions rank by ascending error like
+		// Alg_rev, so AlgRev supplies the gap direction for them.
+		dir := method
+		if named != "" {
+			dir = core.AlgRev
+		}
+		k, resp.Gap = core.AutoK(ranked, dir, maxK)
+		resp.AutoK = true
+	}
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	resp.K = k
+	resp.Ranking = make([]RankedEntry, k)
+	for i, r := range ranked[:k] {
+		resp.Ranking[i] = RankedEntry{Rank: i + 1, Arc: int(r.Arc), Score: r.Score}
+	}
+	return resp, 0, ""
+}
+
+// writeJSON emits v as compact JSON. Marshal errors cannot occur for
+// the fixed response types, so they map to a plain 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+	_, _ = w.Write([]byte("\n"))
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// handleDiagnose implements POST /v1/diagnose: validate, enqueue into
+// the same-dictionary batcher, and wait for the worker or the request
+// deadline, whichever comes first.
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	var req DiagnoseRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if !validID(req.Dict) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dictionary id %q", req.Dict))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	job := &diagJob{ctx: ctx, req: &req, done: make(chan struct{})}
+	if err := s.batch.enqueue(req.Dict, job); err != nil {
+		switch err {
+		case ErrPoolDraining:
+			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		default:
+			writeError(w, http.StatusTooManyRequests, "server busy, retry later")
+		}
+		return
+	}
+	select {
+	case <-job.done:
+		if job.status != 0 {
+			writeError(w, job.status, job.errMsg)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.resp)
+	case <-ctx.Done():
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	}
+}
+
+// handleDicts implements GET /v1/dicts: the dictionary files on disk,
+// flagged with cache residency.
+func (s *Server) handleDicts(w http.ResponseWriter, r *http.Request) {
+	des, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading dictionary directory: "+err.Error())
+		return
+	}
+	type dictInfo struct {
+		ID     string `json:"id"`
+		Cached bool   `json:"cached"`
+	}
+	out := struct {
+		Dicts []dictInfo `json:"dicts"`
+	}{Dicts: []dictInfo{}}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".dict") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".dict")
+		if !validID(id) {
+			continue
+		}
+		out.Dicts = append(out.Dicts, dictInfo{ID: id, Cached: s.cache.Contains(id)})
+	}
+	sort.Slice(out.Dicts, func(i, j int) bool { return out.Dicts[i].ID < out.Dicts[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDictInfo implements GET /v1/dicts/{id}: load (or hit) the
+// dictionary and describe it.
+func (s *Server) handleDictInfo(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validID(id) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dictionary id %q", id))
+		return
+	}
+	ent, err := s.cache.Get(id)
+	if err != nil {
+		writeError(w, loadErrStatus(err), err.Error())
+		return
+	}
+	rows, cols := ent.Dict.Shape()
+	writeJSON(w, http.StatusOK, struct {
+		ID       string  `json:"id"`
+		Inputs   int     `json:"inputs"`
+		Outputs  int     `json:"outputs"`
+		Patterns int     `json:"patterns"`
+		Suspects int     `json:"suspects"`
+		Clk      float64 `json:"clk"`
+		Bytes    int64   `json:"bytes"`
+	}{ent.ID, ent.NInputs, rows, cols, len(ent.Dict.Suspects), ent.Dict.Clk, ent.Size})
+}
+
+// loadErrStatus maps loader failures to HTTP statuses.
+func loadErrStatus(err error) int {
+	if errors.Is(err, fs.ErrNotExist) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	ready := s.ready.Load()
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, struct {
+		Ready bool `json:"ready"`
+	}{ready})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool errors returned by Submit; the HTTP layer maps them to 429
+// (backpressure) and 503 (draining).
+var (
+	ErrPoolBusy     = errors.New("service: worker queue full")
+	ErrPoolDraining = errors.New("service: pool draining")
+)
+
+// Pool is a bounded worker pool: a fixed goroutine count draining a
+// fixed-capacity queue. Submit never blocks — when the queue is full
+// the caller gets ErrPoolBusy and sheds the request, which is the
+// backpressure contract that keeps the service's memory bounded under
+// overload. Drain stops intake and runs every queued job to
+// completion, so graceful shutdown never drops an accepted request.
+type Pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+}
+
+// NewPool starts workers goroutines over a queue of the given depth.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &Pool{jobs: make(chan func(), queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+				p.completed.Add(1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues f without blocking. It fails with ErrPoolBusy when
+// the queue is full and ErrPoolDraining after Drain has begun.
+func (p *Pool) Submit(f func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		p.rejected.Add(1)
+		return ErrPoolDraining
+	}
+	select {
+	case p.jobs <- f:
+		p.submitted.Add(1)
+		return nil
+	default:
+		p.rejected.Add(1)
+		return ErrPoolBusy
+	}
+}
+
+// Drain stops accepting work, runs everything already queued, and
+// returns when the workers have exited. Safe to call more than once.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// PoolStats is a point-in-time snapshot of the pool counters.
+type PoolStats struct {
+	Submitted  int64 `json:"submitted"`
+	Rejected   int64 `json:"rejected"`
+	Completed  int64 `json:"completed"`
+	QueueDepth int   `json:"queue_depth"`
+	QueueCap   int   `json:"queue_cap"`
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Submitted:  p.submitted.Load(),
+		Rejected:   p.rejected.Load(),
+		Completed:  p.completed.Load(),
+		QueueDepth: len(p.jobs),
+		QueueCap:   cap(p.jobs),
+	}
+}

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsSubmittedJobs(t *testing.T) {
+	p := NewPool(4, 16)
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	if ran.Load() != 10 {
+		t.Errorf("ran %d of 10 jobs", ran.Load())
+	}
+	st := p.Stats()
+	if st.Submitted != 10 || st.Completed != 10 || st.Rejected != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	// One worker blocked on a gate, queue of 2: the 4th submit must be
+	// rejected with ErrPoolBusy, not block.
+	gate := make(chan struct{})
+	p := NewPool(1, 2)
+	if err := p.Submit(func() { <-gate }); err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker a moment to take the first job off the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(p.jobs) > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(func() {}); err != nil {
+			t.Fatalf("queue slot %d rejected: %v", i, err)
+		}
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolBusy) {
+		t.Errorf("overfull submit err = %v, want ErrPoolBusy", err)
+	}
+	if p.Stats().Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", p.Stats().Rejected)
+	}
+	close(gate)
+	p.Drain()
+}
+
+func TestPoolDrainRunsQueuedJobsAndRejectsNew(t *testing.T) {
+	gate := make(chan struct{})
+	p := NewPool(1, 8)
+	var ran atomic.Int64
+	if err := p.Submit(func() { <-gate; ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { p.Drain(); close(done) }()
+	close(gate)
+	<-done
+	if ran.Load() != 6 {
+		t.Errorf("drain completed %d of 6 accepted jobs", ran.Load())
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolDraining) {
+		t.Errorf("post-drain submit err = %v, want ErrPoolDraining", err)
+	}
+	p.Drain() // second drain is a no-op
+}

@@ -1,0 +1,244 @@
+// Package service implements ddd-serve: a long-running HTTP/JSON
+// daemon that diagnoses observed failing behaviors against precomputed
+// compressed fault dictionaries. It is the repo's first serving-scale
+// subsystem: the expensive statistical artifact (the dictionary) is
+// characterized once offline by ddd-dict, and the service answers
+// match queries against it from memory — the same precompute-then-
+// reuse move hierarchical SSTA makes with timing macromodels.
+//
+// Architecture:
+//
+//   - a sharded LRU cache (cache.go) keeps hot dictionaries resident
+//     under a byte budget, with singleflight load deduplication;
+//   - a bounded worker pool (pool.go) executes diagnoses with
+//     backpressure — a full queue answers 429 instead of queueing
+//     unboundedly;
+//   - a batcher (batch.go) coalesces concurrent requests against the
+//     same dictionary into one pool job, fanned out over internal/par
+//     with index-disjoint result slots;
+//   - handlers (handlers.go) expose /v1/diagnose, /v1/dicts,
+//     /v1/dicts/{id} and the ops surface /healthz, /readyz, /stats.
+//
+// Responses are byte-deterministic for identical requests: diagnosis
+// ranking ties break on ascending arc ID, JSON fields marshal in
+// declaration order, and no response depends on time, scheduling or
+// map iteration.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Dir is the dictionary directory: id <-> <Dir>/<id>.dict.
+	Dir string
+	// CacheBytes bounds resident dictionary bytes (default 256 MiB).
+	CacheBytes int64
+	// CacheShards is the cache shard count (default 8).
+	CacheShards int
+	// Workers is the diagnosis worker count (default NumCPU).
+	Workers int
+	// QueueDepth bounds the worker queue; a full queue sheds load with
+	// 429 (default 64).
+	QueueDepth int
+	// BatchWorkers bounds the par.For fan-out inside one batch
+	// (default min(4, NumCPU)).
+	BatchWorkers int
+	// RequestTimeout is the per-request deadline (default 10s).
+	RequestTimeout time.Duration
+	// Preload lists dictionary ids to load before the server reports
+	// ready.
+	Preload []string
+}
+
+func (cfg *Config) applyDefaults() {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 256 << 20
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 8
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = min(4, runtime.NumCPU())
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+}
+
+// Server is the diagnosis service: cache + pool + batcher + mux.
+type Server struct {
+	cfg       Config
+	cache     *Cache
+	pool      *Pool
+	batch     *batcher
+	mux       *http.ServeMux
+	endpoints map[string]*epStats
+	ready     atomic.Bool
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds a server over cfg.Dir. The directory must exist; the
+// dictionaries inside it are loaded lazily (or via Warmup).
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	fi, err := os.Stat(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: dictionary directory: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("service: %s is not a directory", cfg.Dir)
+	}
+	s := &Server{cfg: cfg}
+	s.cache = NewCache(s.loadFromDisk, cfg.CacheBytes, cfg.CacheShards)
+	s.pool = NewPool(cfg.Workers, cfg.QueueDepth)
+	s.batch = newBatcher(s.pool, s.runBatch)
+	s.endpoints = map[string]*epStats{
+		"/v1/diagnose":   {},
+		"/v1/dicts":      {},
+		"/v1/dicts/{id}": {},
+		"/healthz":       {},
+		"/readyz":        {},
+		"/stats":         {},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/diagnose", s.instrument("/v1/diagnose", s.handleDiagnose))
+	mux.HandleFunc("GET /v1/dicts", s.instrument("/v1/dicts", s.handleDicts))
+	mux.HandleFunc("GET /v1/dicts/{id}", s.instrument("/v1/dicts/{id}", s.handleDictInfo))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	s.mux = mux
+	if len(cfg.Preload) == 0 {
+		s.ready.Store(true)
+	}
+	return s, nil
+}
+
+// loadFromDisk is the cache loader: decode <dir>/<id>.dict. The size
+// accounts the sparse entries plus the pattern/suspect overhead so the
+// cache budget tracks real residency.
+func (s *Server) loadFromDisk(id string) (*Entry, error) {
+	f, err := os.Open(filepath.Join(s.cfg.Dir, id+".dict"))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			// Don't leak the server-side path in the 404 body.
+			return nil, fmt.Errorf("dictionary %q not found: %w", id, fs.ErrNotExist)
+		}
+		return nil, fmt.Errorf("dictionary %q: %w", id, err)
+	}
+	defer f.Close()
+	cd, nIn, err := core.LoadCompressed(f)
+	if err != nil {
+		return nil, fmt.Errorf("dictionary %q: %w", id, err)
+	}
+	size := int64(cd.Bytes()) +
+		int64(len(cd.Patterns))*int64(2*nIn+32) + // two bool vectors + headers
+		int64(len(cd.Suspects))*4 + 256
+	return &Entry{ID: id, Dict: cd, NInputs: nIn, Size: size}, nil
+}
+
+// runBatch executes one same-dictionary batch on a pool worker: one
+// cache lookup, then the batch fans out over par.For with each request
+// writing only its own job (index-disjoint slots).
+func (s *Server) runBatch(id string, jobs []*diagJob) {
+	ent, err := s.cache.Get(id)
+	if err != nil {
+		status, msg := loadErrStatus(err), err.Error()
+		for _, j := range jobs {
+			j.fail(status, msg)
+			close(j.done)
+		}
+		return
+	}
+	par.For(len(jobs), s.cfg.BatchWorkers, func(i int) {
+		j := jobs[i]
+		if j.ctx.Err() != nil {
+			// The requester already timed out; skip the compute.
+			j.fail(http.StatusGatewayTimeout, "request deadline exceeded")
+		} else if resp, status, msg := diagnoseOne(ent, j.req); status != 0 {
+			j.fail(status, msg)
+		} else {
+			j.resp = resp
+		}
+		close(j.done)
+	})
+}
+
+// Warmup loads every preload dictionary and marks the server ready.
+// An error leaves the server unready (readyz stays 503).
+func (s *Server) Warmup(ctx context.Context) error {
+	for _, id := range s.cfg.Preload {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !validID(id) {
+			return fmt.Errorf("service: invalid preload id %q", id)
+		}
+		if _, err := s.cache.Get(id); err != nil {
+			return fmt.Errorf("service: preload %q: %w", id, err)
+		}
+	}
+	s.ready.Store(true)
+	return nil
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the
+// background; use Addr for the bound address and Shutdown to stop.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address after Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server gracefully: stop accepting connections,
+// wait for in-flight handlers (bounded by ctx), then drain the worker
+// pool so every accepted request gets its response before the workers
+// exit.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.pool.Drain()
+	return err
+}

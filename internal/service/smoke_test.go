@@ -1,0 +1,63 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestSmokeServe is the end-to-end smoke for `make smoke-serve`: boot
+// a real server on a random port with a testdata dictionary, assert
+// readiness, send one diagnose request, check the expected top-1 arc,
+// and shut down cleanly.
+func TestSmokeServe(t *testing.T) {
+	s := newTestServer(t, func(cfg *Config) { cfg.Preload = []string{"alpha"} })
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + s.Addr()
+
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+
+	body := diagnoseBody(t, "alpha", "Alg_rev", 5)
+	r2, err := http.Post(url+"/v1/diagnose", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("diagnose = %d body %s", r2.StatusCode, data)
+	}
+	var dr DiagnoseResponse
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if want := getFixture(t)["alpha"].top1; len(dr.Ranking) == 0 || dr.Ranking[0].Arc != want {
+		t.Fatalf("top-1 = %+v, want arc %d", dr.Ranking, want)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// epStats accumulates per-endpoint request counters. All fields are
+// atomics so the hot path never takes a lock for instrumentation.
+type epStats struct {
+	count       atomic.Int64
+	errors      atomic.Int64
+	totalMicros atomic.Int64
+	maxMicros   atomic.Int64
+}
+
+func (e *epStats) observe(d time.Duration, status int) {
+	us := d.Microseconds()
+	e.count.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	e.totalMicros.Add(us)
+	for {
+		cur := e.maxMicros.Load()
+		if us <= cur || e.maxMicros.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// EndpointStats is one endpoint's latency counter snapshot. Plain
+// counters (count + total) rather than percentile sketches: they are
+// cheap, mergeable across scrapes, and enough for a rate/latency
+// dashboard without external dependencies.
+type EndpointStats struct {
+	Count       int64 `json:"count"`
+	Errors      int64 `json:"errors"`
+	TotalMicros int64 `json:"total_us"`
+	MaxMicros   int64 `json:"max_us"`
+}
+
+func (e *epStats) snapshot() EndpointStats {
+	return EndpointStats{
+		Count:       e.count.Load(),
+		Errors:      e.errors.Load(),
+		TotalMicros: e.totalMicros.Load(),
+		MaxMicros:   e.maxMicros.Load(),
+	}
+}
+
+// Stats is the /stats document: cache, pool, batching and per-endpoint
+// counters in one plain-JSON snapshot (map keys marshal sorted, so the
+// document layout is stable scrape to scrape).
+type Stats struct {
+	Ready     bool                     `json:"ready"`
+	Cache     CacheStats               `json:"cache"`
+	Pool      PoolStats                `json:"pool"`
+	Batch     BatchStats               `json:"batch"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// Stats snapshots every counter surface of the server.
+func (s *Server) Stats() Stats {
+	eps := make(map[string]EndpointStats, len(s.endpoints))
+	for name, ep := range s.endpoints {
+		eps[name] = ep.snapshot()
+	}
+	return Stats{
+		Ready:     s.ready.Load(),
+		Cache:     s.cache.Stats(),
+		Pool:      s.pool.Stats(),
+		Batch:     s.batch.Stats(),
+		Endpoints: eps,
+	}
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument wraps h with latency/error accounting under name.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		ep.observe(time.Since(start), sw.status)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/logicsim"
 	"repro/internal/path"
 	"repro/internal/rng"
+	"repro/internal/service"
 	"repro/internal/synth"
 	"repro/internal/timing"
 	"repro/internal/tsim"
@@ -314,4 +315,31 @@ func BuildScanMap(c *Circuit, numPI, numPO int) ScanMap {
 // launch-on-capture (broadside) constraint instead of enhanced scan.
 func DiagnosticPatternsLoC(c *Circuit, sm ScanMap, site ArcID, maxPatterns, tries int, seed uint64) []PathTestResult {
 	return atpg.DiagnosticPatternsLoC(c, sm, site, maxPatterns, tries, rng.New(seed))
+}
+
+// Serving (cmd/ddd-serve): the concurrent diagnosis service answering
+// HTTP/JSON requests against precomputed compressed dictionaries.
+type (
+	// DiagnoseRequest is the body of POST /v1/diagnose.
+	DiagnoseRequest = service.DiagnoseRequest
+	// DiagnoseResponse is a ranked diagnosis answer.
+	DiagnoseResponse = service.DiagnoseResponse
+	// RankedArc is one candidate of a DiagnoseResponse ranking.
+	RankedArc = service.RankedEntry
+	// ServeConfig parameterizes a DiagnosisServer (dictionary
+	// directory, cache budget, worker pool, deadlines, preload).
+	ServeConfig = service.Config
+	// DiagnosisServer is the embeddable diagnosis service: sharded LRU
+	// dictionary cache + bounded worker pool + HTTP handlers.
+	DiagnosisServer = service.Server
+	// ServiceStats is the /stats snapshot (cache, pool, batching and
+	// per-endpoint counters).
+	ServiceStats = service.Stats
+)
+
+// NewDiagnosisServer builds a diagnosis service over a directory of
+// compressed dictionaries (<id>.dict, written by ddd-dict). Start it
+// on an address or mount Handler() into an existing mux.
+func NewDiagnosisServer(cfg ServeConfig) (*DiagnosisServer, error) {
+	return service.New(cfg)
 }
