@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint ci test race bench bench-serve smoke-serve fuzz table1 figures ablate clean
+.PHONY: all build vet lint lint-obs ci test race bench bench-serve smoke-serve fuzz table1 figures ablate clean
 
 all: build vet lint test
 
@@ -18,14 +18,23 @@ vet:
 lint: vet
 	$(GO) run ./cmd/ddd-lint ./...
 
-# ci is the pre-merge gate: build, vet, ddd-lint, the full test suite
-# under the race detector, and the ddd-serve end-to-end smoke.
-ci: build lint smoke-serve
+# lint-obs scopes the analyzers to the metrics layer alone — the
+# package every other layer's instrumentation hooks into, so it gets
+# its own fast pre-merge check even when a change skips full lint.
+lint-obs:
+	$(GO) run ./cmd/ddd-lint ./internal/obs/...
+
+# ci is the pre-merge gate: build, vet, ddd-lint (full + the obs
+# layer), the full test suite under the race detector, and the
+# ddd-serve end-to-end smoke.
+ci: build lint lint-obs smoke-serve
 	$(GO) test -race ./...
 
 # smoke-serve boots ddd-serve on a random port with a generated test
 # dictionary, sends one diagnose request, asserts 200 + the expected
-# top-1 arc, and shuts down gracefully.
+# top-1 arc, scrapes /metrics and asserts the key series (requests,
+# latency histogram, cache hit/miss/eviction, pool queue depth), and
+# shuts down gracefully.
 smoke-serve:
 	$(GO) test ./internal/service -run '^TestSmokeServe$$' -count=1 -v
 

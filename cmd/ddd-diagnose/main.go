@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	ddd-diagnose -profile s1196 [-case 0] [-arc 123] [-size 1.2] [-k 10]
+//	ddd-diagnose -profile s1196 [-case 0] [-arc 123] [-size 1.2] [-k 10] [-timings]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/tsim"
 )
@@ -31,15 +32,24 @@ func main() {
 	k := flag.Int("k", 10, "candidates to print")
 	quantile := flag.Float64("clk-quantile", 0.9, "cut-off quantile of the targeted path delay")
 	vcdOut := flag.String("vcd", "", "dump the first failing pattern's waveform (with the defect) to this VCD file")
+	timings := flag.Bool("timings", false, "per-stage wall-time breakdown (stderr)")
 	flag.Parse()
 
-	if err := run(*profile, *circuitSeed, *caseSeed, *arcFlag, *sizeFlag, *maxPats, *samples, *k, *quantile, *vcdOut); err != nil {
+	if err := run(*profile, *circuitSeed, *caseSeed, *arcFlag, *sizeFlag, *maxPats, *samples, *k, *quantile, *vcdOut, *timings); err != nil {
 		fmt.Fprintln(os.Stderr, "ddd-diagnose:", err)
 		os.Exit(1)
 	}
 }
 
-func run(profile string, circuitSeed, caseSeed uint64, arcFlag int, sizeFlag float64, maxPats, samples, k int, quantile float64, vcdOut string) error {
+func run(profile string, circuitSeed, caseSeed uint64, arcFlag int, sizeFlag float64, maxPats, samples, k int, quantile float64, vcdOut string, timings bool) error {
+	st := obs.NewStages()
+	if timings {
+		defer func() {
+			if err := st.WriteTable(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "ddd-diagnose:", err)
+			}
+		}()
+	}
 	c, err := repro.GenerateCircuit(profile, circuitSeed)
 	if err != nil {
 		return err
@@ -59,13 +69,16 @@ func run(profile string, circuitSeed, caseSeed uint64, arcFlag int, sizeFlag flo
 	a := c.Arcs[df.Arc]
 	fmt.Printf("injected %v: %s -> %s (pin %d)\n", df, c.Gates[a.From].Name, c.Gates[a.To].Name, a.Pin)
 
+	stop := st.Start("atpg")
 	tests := repro.DiagnosticPatterns(m, df.Arc, maxPats, rng.Derive(caseSeed, 1))
+	stop(int64(len(tests)))
 	if len(tests) == 0 {
 		return fmt.Errorf("no diagnostic patterns found for arc %d", df.Arc)
 	}
 	fmt.Printf("generated %d diagnostic patterns:\n", len(tests))
 	pats := make([]repro.PatternPair, len(tests))
 	clk := 0.0
+	stop = st.Start("clk_select")
 	for i, tc := range tests {
 		pats[i] = tc.Pair
 		crit := "non-robust"
@@ -78,10 +91,13 @@ func run(profile string, circuitSeed, caseSeed uint64, arcFlag int, sizeFlag flo
 			clk = tl
 		}
 	}
+	stop(int64(len(tests)))
 	fmt.Printf("cut-off period clk = %.3f (q%.2f of the longest targeted path)\n\n", clk, quantile)
 
 	inst := m.SampleInstanceSeeded(caseSeed, 1_000_000)
+	stop = st.Start("behavior_sim")
 	b := repro.SimulateBehavior(c, inst, pats, df, clk)
+	stop(int64(len(pats)))
 	fmt.Printf("behavior matrix B (%d outputs x %d patterns), %d failing entries:\n%s\n",
 		b.Rows, b.Cols, b.FailCount(), b)
 	if !b.AnyFailure() {
@@ -108,7 +124,9 @@ func run(profile string, circuitSeed, caseSeed uint64, arcFlag int, sizeFlag flo
 		}
 	}
 
+	stop = st.Start("suspects")
 	suspects := repro.SuspectArcs(c, pats, b)
+	stop(int64(len(suspects)))
 	fmt.Printf("suspect arcs after cause-effect pruning: %d\n", len(suspects))
 	truthIn := false
 	for _, s := range suspects {
@@ -118,6 +136,7 @@ func run(profile string, circuitSeed, caseSeed uint64, arcFlag int, sizeFlag flo
 	}
 	fmt.Printf("true arc in suspect set: %v\n\n", truthIn)
 
+	stop = st.Start("dict_build")
 	dict, err := repro.BuildDictionary(m, pats, suspects, repro.DictConfig{
 		Clk:         clk,
 		Samples:     samples,
@@ -125,9 +144,12 @@ func run(profile string, circuitSeed, caseSeed uint64, arcFlag int, sizeFlag flo
 		Incremental: true,
 		SizeDist:    inj.AssumedSizeDist(),
 	})
+	stop(int64(samples))
 	if err != nil {
 		return err
 	}
+	stop = st.Start("diagnose")
+	defer func() { stop(int64(len(repro.Methods))) }()
 	for _, method := range repro.Methods {
 		ranked := dict.Diagnose(b, method)
 		fmt.Printf("%s ranking (top %d):\n", method, k)

@@ -13,10 +13,13 @@
 //	    "dict": "small", "method": "Alg_rev", "k": 5,
 //	    "behavior": ["0100...", ...]}'
 //	curl -s localhost:8344/stats
+//	curl -s localhost:8344/metrics
 //
 // Endpoints: POST /v1/diagnose, GET /v1/dicts, GET /v1/dicts/{id},
 // GET /healthz, GET /readyz (503 until the preload list is warm),
-// GET /stats. SIGINT/SIGTERM drain in-flight requests before exit.
+// GET /stats, GET /metrics (Prometheus text format), and with -pprof
+// the net/http/pprof suite under /debug/pprof/. SIGINT/SIGTERM drain
+// in-flight requests before exit.
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
 	preload := flag.String("preload", "", "comma-separated dictionary ids to warm before ready, or \"all\"")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain budget")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if *dicts == "" {
@@ -51,12 +55,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *dicts, *cacheMB, *shards, *workers, *queue, *batchWorkers, *timeout, *preload, *grace); err != nil {
+	if err := run(*addr, *dicts, *cacheMB, *shards, *workers, *queue, *batchWorkers, *timeout, *preload, *grace, *pprofFlag); err != nil {
 		log.Fatalf("ddd-serve: %v", err)
 	}
 }
 
-func run(addr, dicts string, cacheMB int64, shards, workers, queue, batchWorkers int, timeout time.Duration, preload string, grace time.Duration) error {
+func run(addr, dicts string, cacheMB int64, shards, workers, queue, batchWorkers int, timeout time.Duration, preload string, grace time.Duration, enablePprof bool) error {
 	cfg := service.Config{
 		Dir:            dicts,
 		CacheBytes:     cacheMB << 20,
@@ -65,6 +69,7 @@ func run(addr, dicts string, cacheMB int64, shards, workers, queue, batchWorkers
 		QueueDepth:     queue,
 		BatchWorkers:   batchWorkers,
 		RequestTimeout: timeout,
+		EnablePprof:    enablePprof,
 	}
 	var err error
 	if cfg.Preload, err = preloadList(preload, dicts); err != nil {

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	ddd-table1 [-circuits s1196,s1238] [-n 20] [-samples 96] [-quick] [-v]
+//	ddd-table1 [-circuits s1196,s1238] [-n 20] [-samples 96] [-quick] [-v] [-timings]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 	maxSuspects := flag.Int("max-suspects", 0, "cap on suspect-set size (0 = unlimited)")
 	quick := flag.Bool("quick", false, "reduced configuration for a fast smoke run")
 	verbose := flag.Bool("v", false, "per-case detail")
+	timings := flag.Bool("timings", false, "per-stage wall-time breakdown per circuit (stderr)")
 	wideSize := flag.Bool("wide-size", false, "dictionary assumes Uniform[0.25,1.5] cell-delay defect sizes")
 	csvOut := flag.String("csv", "", "also write measured rows as CSV to this file")
 	flag.Parse()
@@ -65,6 +66,11 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%s: %s | escape=%.0f%% meanSuspects=%.0f (%v)\n",
 			name, res.Stats, 100*res.EscapeRate(), res.MeanSuspects(), time.Since(start).Round(time.Second))
+		if *timings && res.Timings != nil {
+			if err := res.Timings.WriteTable(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "ddd-table1:", err)
+			}
+		}
 		if *verbose {
 			if err := eval.WriteReport(os.Stderr, res, true); err != nil {
 				fmt.Fprintln(os.Stderr, "ddd-table1:", err)

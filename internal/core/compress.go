@@ -150,6 +150,7 @@ func (cd *CompressedDictionary) PatternConsistency(si int, b *Behavior) []float6
 // Diagnose ranks all suspects against b using the given method, like
 // Dictionary.Diagnose but on the compressed form.
 func (cd *CompressedDictionary) Diagnose(b *Behavior, method Method) []Ranked {
+	diagnoses.Inc()
 	out := make([]Ranked, len(cd.Suspects))
 	for si, arc := range cd.Suspects {
 		out[si] = Ranked{Arc: arc, Score: method.Score(cd.PatternConsistency(si, b))}

@@ -114,6 +114,7 @@ func (m Method) Score(phi []float64) float64 {
 // ID for determinism. Callers take the first K entries as the
 // diagnosis answer.
 func (d *Dictionary) Diagnose(b *Behavior, method Method) []Ranked {
+	diagnoses.Inc()
 	out := make([]Ranked, len(d.Suspects))
 	for si, arc := range d.Suspects {
 		phi := d.PatternConsistency(si, b)
@@ -138,6 +139,7 @@ func (d *Dictionary) Diagnose(b *Behavior, method Method) []Ranked {
 // conclusion calls for ("to develop a good diagnosis algorithm ... we
 // need to search for a good error function first").
 func (d *Dictionary) DiagnoseErrorFunc(b *Behavior, fn func(phi []float64) float64) []Ranked {
+	diagnoses.Inc()
 	out := make([]Ranked, len(d.Suspects))
 	for si, arc := range d.Suspects {
 		out[si] = Ranked{Arc: arc, Score: fn(d.PatternConsistency(si, b))}

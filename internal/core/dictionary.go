@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/dist"
@@ -82,6 +83,12 @@ func BuildDictionary(m *timing.Model, patterns []logicsim.PatternPair, suspects 
 			return nil, err
 		}
 	}
+	start := time.Now()
+	defer func() {
+		dictBuildSeconds.Add(time.Since(start).Seconds())
+	}()
+	dictBuilds.Inc()
+	dictBuildSamples.Add(float64(cfg.Samples))
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()

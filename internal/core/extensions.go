@@ -115,6 +115,7 @@ func (d *Dictionary) DiagnoseNamed(b *Behavior, name string) ([]Ranked, bool) {
 // Dictionary.DiagnoseErrorFunc so stored dictionaries support the
 // extension error functions too.
 func (cd *CompressedDictionary) DiagnoseErrorFunc(b *Behavior, fn ErrorFunc) []Ranked {
+	diagnoses.Inc()
 	out := make([]Ranked, len(cd.Suspects))
 	for si, arc := range cd.Suspects {
 		out[si] = Ranked{Arc: arc, Score: fn(cd.PatternConsistency(si, b))}

@@ -1,0 +1,22 @@
+package core
+
+import (
+	"repro/internal/obs"
+)
+
+// Process-wide pipeline counters (obs.Default registry): dictionary
+// construction is the expensive Monte-Carlo artifact and diagnosis
+// the serving-path match, so both totals are visible on any /metrics
+// scrape and in ad-hoc profiling. Counting happens once per call
+// (bulk adds), never per sample, so the instrumentation cost is noise
+// against the simulation work it measures.
+var (
+	dictBuilds = obs.Default().Counter("ddd_core_dict_builds_total",
+		"fault dictionaries built", nil)
+	dictBuildSeconds = obs.Default().Counter("ddd_core_dict_build_seconds_total",
+		"wall time spent building fault dictionaries", nil)
+	dictBuildSamples = obs.Default().Counter("ddd_core_dict_build_samples_total",
+		"Monte-Carlo instance samples simulated into dictionaries", nil)
+	diagnoses = obs.Default().Counter("ddd_core_diagnoses_total",
+		"diagnosis rankings computed (all methods, plain and compressed)", nil)
+)

@@ -238,3 +238,59 @@ func TestFigure3(t *testing.T) {
 		t.Errorf("format missing header:\n%s", s)
 	}
 }
+
+func TestMeanAutoKEmptyNaN(t *testing.T) {
+	// No diagnosed case → NaN, matching SuccessRate/AutoKSuccessRate,
+	// and the table renderer shows it as "-" rather than a fake 0.
+	r := &CircuitResult{}
+	if !math.IsNaN(r.MeanAutoK()) {
+		t.Errorf("MeanAutoK on empty result = %v, want NaN", r.MeanAutoK())
+	}
+	if got := fmtMeas(r.MeanAutoK(), 1); got != "-" {
+		t.Errorf("fmtMeas(NaN) = %q, want -", got)
+	}
+	if got := fmtMeas(12.345, 1); got != "12.3" {
+		t.Errorf("fmtMeas(12.345, 1) = %q", got)
+	}
+	rows := []Table1Row{{Circuit: "s1196", K: 1, I: math.NaN(), II: math.NaN(), Rev: math.NaN()}}
+	out := FormatTable1(rows)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("FormatTable1 leaked NaN:\n%s", out)
+	}
+}
+
+func TestRunCircuitTimings(t *testing.T) {
+	res, err := RunCircuit(fastConfig("mini", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timings == nil {
+		t.Fatal("Timings not populated")
+	}
+	snap := res.Timings.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("no stages recorded")
+	}
+	byName := map[string]bool{}
+	for _, s := range snap {
+		byName[s.Name] = true
+		if s.Calls < 1 {
+			t.Errorf("stage %s: calls = %d", s.Name, s.Calls)
+		}
+		if s.Seconds < 0 {
+			t.Errorf("stage %s: seconds = %v", s.Name, s.Seconds)
+		}
+	}
+	// atpg runs for every case; later stages depend on escapes, but at
+	// least the first stage must always be present.
+	if !byName["atpg"] {
+		t.Errorf("stage atpg missing; have %v", byName)
+	}
+	if res.Timings.TotalSeconds() < 0 {
+		t.Errorf("total seconds = %v", res.Timings.TotalSeconds())
+	}
+	table := res.Timings.String()
+	if !strings.Contains(table, "atpg") || !strings.Contains(table, "total") {
+		t.Errorf("timings table missing rows:\n%s", table)
+	}
+}

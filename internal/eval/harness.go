@@ -16,6 +16,7 @@ import (
 	"repro/internal/defect"
 	"repro/internal/dist"
 	"repro/internal/logicsim"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/synth"
@@ -114,7 +115,9 @@ func (r *CircuitResult) AutoKSuccessRate() float64 {
 }
 
 // MeanAutoK returns the average automatically chosen K over diagnosed
-// cases.
+// cases, or NaN when no case was diagnosed — matching the NaN
+// semantics of SuccessRate/AutoKSuccessRate for empty denominators,
+// so "no data" never renders as a plausible-looking 0.
 func (r *CircuitResult) MeanAutoK() float64 {
 	sum, n := 0, 0
 	for _, cs := range r.Cases {
@@ -124,7 +127,7 @@ func (r *CircuitResult) MeanAutoK() float64 {
 		}
 	}
 	if n == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(sum) / float64(n)
 }
@@ -134,6 +137,12 @@ type CircuitResult struct {
 	Config Config
 	Stats  circuit.Stats
 	Cases  []CaseResult
+	// Timings accumulates per-stage wall time across the run's cases
+	// (pattern generation, clock selection, behavior simulation,
+	// suspect pruning, dictionary build, diagnosis) — the data behind
+	// `ddd-table1 --timings`. Wall time is measurement, not result: it
+	// never feeds a diagnosis number.
+	Timings *obs.Stages
 }
 
 // SuccessRate returns the fraction of cases whose true defect arc is
@@ -220,10 +229,10 @@ func RunOnCircuit(c *circuit.Circuit, cfg Config) (*CircuitResult, error) {
 	}
 	m := timing.NewModel(c, cfg.Timing)
 	inj := defect.NewInjector(c, m.MeanCellDelay(), defect.DefaultParams())
-	res := &CircuitResult{Config: cfg, Stats: c.Stats()}
+	res := &CircuitResult{Config: cfg, Stats: c.Stats(), Timings: obs.NewStages()}
 
 	for i := 0; i < cfg.N; i++ {
-		cs, err := runCase(c, m, inj, cfg, i)
+		cs, err := runCase(c, m, inj, cfg, i, res.Timings)
 		if err != nil {
 			return nil, fmt.Errorf("eval: case %d: %w", i, err)
 		}
@@ -232,7 +241,8 @@ func RunOnCircuit(c *circuit.Circuit, cfg Config) (*CircuitResult, error) {
 	return res, nil
 }
 
-func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Config, i int) (CaseResult, error) {
+func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Config, i int, st *obs.Stages) (CaseResult, error) {
+	evalCases.Inc()
 	caseSeed := rng.DeriveN(cfg.Seed, 0xca5e, uint64(i))
 	r := rng.New(caseSeed)
 	inst := m.SampleInstanceSeeded(cfg.Seed, uint64(1_000_000+i))
@@ -240,10 +250,13 @@ func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Conf
 	cs := CaseResult{Instance: i, Defect: df, Rank: make(map[core.Method]int)}
 
 	// Pattern generation through the fault site (paper Section H-4).
+	stop := st.Start("atpg")
 	tests := atpg.DiagnosticPatterns(c, m.Nominal, df.Arc, cfg.MaxPatterns, rng.New(rng.Derive(caseSeed, 1)))
+	stop(int64(len(tests)))
 	if len(tests) == 0 {
 		// Site unexercisable by any found pattern: the defect escapes.
 		cs.Escaped = true
+		evalEscapes.Inc()
 		return cs, nil
 	}
 	pats := make([]logicsim.PatternPair, len(tests))
@@ -259,6 +272,7 @@ func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Conf
 	// marginal — and puts clk where a 0.5–1 cell-delay defect on the
 	// site moves the pass/fail outcome. Critical probabilities of
 	// everything else at this clk are captured by M_crt.
+	stop = st.Start("clk_select")
 	clk := 0.0
 	for _, tc := range tests {
 		tl := m.TimingLength(tc.Path.Arcs, cfg.ClkSamples, rng.Derive(caseSeed, 2)).Quantile(cfg.ClkQuantile)
@@ -267,18 +281,24 @@ func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Conf
 		}
 	}
 	cs.Clk = clk
+	stop(int64(len(tests)))
 
+	stop = st.Start("behavior_sim")
 	b := core.SimulateBehavior(c, inst.Delays, pats, df.Arc, df.Size, clk)
+	stop(int64(len(pats)))
 	if !b.AnyFailure() {
 		cs.Escaped = true
+		evalEscapes.Inc()
 		return cs, nil
 	}
 
+	stop = st.Start("suspects")
 	strict, relaxed := core.SuspectArcsTiered(c, pats, b)
 	suspects := append(append([]circuit.ArcID(nil), strict...), relaxed...)
 	if cfg.MaxSuspects > 0 && len(suspects) > cfg.MaxSuspects {
 		suspects = capSuspects(strict, relaxed, cfg.MaxSuspects, rng.New(rng.Derive(caseSeed, 3)))
 	}
+	stop(int64(len(suspects)))
 	cs.Suspects = len(suspects)
 	for _, a := range suspects {
 		if a == df.Arc {
@@ -297,6 +317,7 @@ func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Conf
 			sizeDist = inj.AssumedSizeDist()
 		}
 	}
+	stop = st.Start("dict_build")
 	dict, err := core.BuildDictionary(m, pats, suspects, core.DictConfig{
 		Clk:         clk,
 		Samples:     cfg.DictSamples,
@@ -305,9 +326,11 @@ func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Conf
 		Incremental: true,
 		SizeDist:    sizeDist,
 	})
+	stop(int64(cfg.DictSamples))
 	if err != nil {
 		return cs, err
 	}
+	stop = st.Start("diagnose")
 	for _, method := range core.Methods {
 		ranked := dict.Diagnose(b, method)
 		for pos, rk := range ranked {
@@ -320,6 +343,7 @@ func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Conf
 			cs.AutoK, cs.AutoKGap = core.AutoK(ranked, method, 16)
 		}
 	}
+	stop(int64(len(core.Methods)))
 	return cs, nil
 }
 

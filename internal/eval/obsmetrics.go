@@ -1,0 +1,14 @@
+package eval
+
+import "repro/internal/obs"
+
+// Process-wide counters for the experiment harness, registered in the
+// default registry so a ddd-serve process embedding eval (or a test
+// scraping /metrics) sees harness activity alongside the timing/core
+// series. Counting happens once per case — far off any hot loop.
+var (
+	evalCases = obs.Default().Counter("ddd_eval_cases_total",
+		"Diagnosis cases executed by the eval harness.", nil)
+	evalEscapes = obs.Default().Counter("ddd_eval_escapes_total",
+		"Cases whose defect produced no failing output (escapes).", nil)
+)

@@ -2,10 +2,21 @@ package eval
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
 )
+
+// fmtMeas renders a measured value with the given precision, printing
+// NaN — the harness's "no data" marker (empty denominator) — as "-",
+// the same placeholder used for K values the paper does not report.
+func fmtMeas(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
 
 // Table1Row is one (circuit, K) cell group of Table I: the success
 // rates (percent) of Alg_sim Method I, Method II and Alg_rev.
@@ -92,8 +103,8 @@ func FormatTable1(measured []Table1Row) string {
 			pii = fmt.Sprintf("%.0f", p.II)
 			prev = fmt.Sprintf("%.0f", p.Rev)
 		}
-		fmt.Fprintf(&sb, "%-8s %3d | %8.0f %8.0f %8.0f | %8s %8s %8s\n",
-			row.Circuit, row.K, row.I, row.II, row.Rev, pi, pii, prev)
+		fmt.Fprintf(&sb, "%-8s %3d | %8s %8s %8s | %8s %8s %8s\n",
+			row.Circuit, row.K, fmtMeas(row.I, 0), fmtMeas(row.II, 0), fmtMeas(row.Rev, 0), pi, pii, prev)
 	}
 	return sb.String()
 }

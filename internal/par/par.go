@@ -5,14 +5,41 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
+// PanicError is how a panic inside a For worker surfaces on the caller
+// goroutine: For recovers worker panics, records the first one together
+// with the index of the item that raised it, waits for the remaining
+// workers to drain, and re-panics with this wrapper. Without the
+// recovery, a worker panic would crash the whole process from a
+// goroutine with no useful stack linkage to the For call site — and
+// leave sibling workers writing into shared slots while the runtime
+// unwinds.
+type PanicError struct {
+	// Index is the work item whose fn(i) panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: panic on item %d: %v", e.Index, e.Value)
+}
+
 // For runs fn(i) for every i in [0, n) on up to workers goroutines
 // (workers <= 0 selects NumCPU). It returns when all items finish. fn
 // must be safe for concurrent invocation on distinct indices.
+//
+// If fn panics, For re-panics on the calling goroutine with a
+// *PanicError carrying the panicking item's index and the original
+// panic value. When several items panic concurrently, the first
+// recovered one wins; items already started still run to completion
+// (or their own recovery) before For unwinds, so no worker is left
+// touching caller-owned slots after For returns.
 func For(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -25,10 +52,11 @@ func For(n, workers int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			call(i, fn, nil)
 		}
 		return
 	}
+	var firstPanic atomic.Pointer[PanicError]
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -40,9 +68,32 @@ func For(n, workers int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				call(i, fn, &firstPanic)
 			}
 		}()
 	}
 	wg.Wait()
+	if pe := firstPanic.Load(); pe != nil {
+		panic(pe)
+	}
+}
+
+// call invokes fn(i), converting a panic into a *PanicError. With a
+// nil sink (the single-worker inline path) the wrapper re-panics
+// immediately on the caller; otherwise the first panic is recorded for
+// For to re-raise after the join, and the worker moves on so the
+// remaining items still drain deterministically.
+func call(i int, fn func(int), sink *atomic.Pointer[PanicError]) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		pe := &PanicError{Index: i, Value: r}
+		if sink == nil {
+			panic(pe)
+		}
+		sink.CompareAndSwap(nil, pe)
+	}()
+	fn(i)
 }

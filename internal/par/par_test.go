@@ -42,3 +42,57 @@ func TestForMoreWorkersThanItems(t *testing.T) {
 		t.Errorf("count = %d", count.Load())
 	}
 }
+
+func TestForPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				pe, ok := r.(*PanicError)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want *PanicError", workers, r)
+				}
+				if pe.Index != 5 {
+					t.Errorf("workers=%d: Index = %d, want 5", workers, pe.Index)
+				}
+				if pe.Value != "boom" {
+					t.Errorf("workers=%d: Value = %v, want boom", workers, pe.Value)
+				}
+				want := "par: panic on item 5: boom"
+				if pe.Error() != want {
+					t.Errorf("workers=%d: Error() = %q, want %q", workers, pe.Error(), want)
+				}
+			}()
+			For(8, workers, func(i int) {
+				if i == 5 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForPanicDrainsRemainingItems(t *testing.T) {
+	// Multi-worker: items other than the panicking one must still run
+	// exactly once before For re-panics — no worker abandons the queue.
+	var count atomic.Int32
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		For(64, 4, func(i int) {
+			if i == 0 {
+				panic("first")
+			}
+			count.Add(1)
+		})
+	}()
+	if got := count.Load(); got != 63 {
+		t.Errorf("non-panicking items run = %d, want 63", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -191,10 +192,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Code is a stable machine-readable discriminator for errors a
+	// client reacts to programmatically (backpressure, drain), so
+	// retry logic never string-matches the human message.
+	Code string `json:"code,omitempty"`
+	// RetrySeconds mirrors the Retry-After header for clients that
+	// only look at the body.
+	RetrySeconds int `json:"retry_after_s,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// retryAfterSeconds is the backoff hint attached to load-shed
+// responses. The queue turns over in well under a second at any
+// realistic service time, so 1 s is the smallest honest hint the
+// header's integer granularity allows.
+const retryAfterSeconds = 1
+
+// writeRetryable emits a load-shed error (429 backpressure, 503
+// drain) with a Retry-After header and a machine-readable body.
+func writeRetryable(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	writeJSON(w, status, errorBody{Error: msg, Code: code, RetrySeconds: retryAfterSeconds})
 }
 
 // handleDiagnose implements POST /v1/diagnose: validate, enqueue into
@@ -219,9 +240,9 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	if err := s.batch.enqueue(req.Dict, job); err != nil {
 		switch err {
 		case ErrPoolDraining:
-			writeError(w, http.StatusServiceUnavailable, "server shutting down")
+			writeRetryable(w, http.StatusServiceUnavailable, "draining", "server shutting down")
 		default:
-			writeError(w, http.StatusTooManyRequests, "server busy, retry later")
+			writeRetryable(w, http.StatusTooManyRequests, "busy", "server busy, retry later")
 		}
 		return
 	}

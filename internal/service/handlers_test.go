@@ -252,6 +252,8 @@ func TestConcurrentDeterministicResponses(t *testing.T) {
 		}
 	}
 
+	before := parseMetrics(t, scrapeMetrics(t, ts.URL))
+
 	const clients = 32
 	const perClient = 6
 	var wg sync.WaitGroup
@@ -288,6 +290,27 @@ func TestConcurrentDeterministicResponses(t *testing.T) {
 	}
 	if st.Cache.Loads == 0 || st.Cache.Misses == 0 {
 		t.Errorf("cache never loaded: %+v", st.Cache)
+	}
+
+	// Counter monotonicity under concurrency: every *_total series
+	// present before the hammering must not have moved backward, and
+	// the request counter must account for the traffic that got a
+	// non-shed answer.
+	after := parseMetrics(t, scrapeMetrics(t, ts.URL))
+	for series, b := range before {
+		if !strings.Contains(series, "_total") {
+			continue
+		}
+		if a, ok := after[series]; !ok || a < b {
+			t.Errorf("counter %s went backward: %v -> %v (present=%v)", series, b, a, ok)
+		}
+	}
+	reqSeries := `ddd_http_requests_total{endpoint="/v1/diagnose"}`
+	if after[reqSeries] < before[reqSeries]+1 {
+		t.Errorf("requests_total did not advance: %v -> %v", before[reqSeries], after[reqSeries])
+	}
+	if after["ddd_cache_evictions_total"] == 0 {
+		t.Error("evictions counter missing from /metrics despite cache evictions")
 	}
 
 	// Graceful shutdown: everything the pool accepted must complete.

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics is the service's /metrics surface. Each Server owns
+// its own obs.Registry (so tests and embedded servers never collide
+// on series names); GET /metrics renders it followed by the process
+// Default() registry, which carries the pipeline counters (timing
+// samples, dictionary build totals) the diagnosis hot paths bump.
+//
+// Counters whose source of truth already lives in the cache/pool/
+// batch atomics register as CounterFunc/GaugeFunc closures and are
+// read only at scrape time — zero added cost on the request path. The
+// only per-request instrumentation cost is the latency histogram
+// observation in instrument().
+type serverMetrics struct {
+	reg     *obs.Registry
+	latency map[string]*obs.Histogram
+}
+
+// newServerMetrics registers the full metric surface over s's
+// existing counters. Called once from New after cache, pool, batcher
+// and the endpoint table exist.
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{reg: reg, latency: make(map[string]*obs.Histogram)}
+
+	for name, ep := range s.endpoints {
+		ep := ep
+		lbl := obs.Labels{"endpoint": name}
+		reg.CounterFunc("ddd_http_requests_total",
+			"HTTP requests served, by endpoint", lbl,
+			func() float64 { return float64(ep.count.Load()) })
+		reg.CounterFunc("ddd_http_request_errors_total",
+			"HTTP responses with status >= 400, by endpoint", lbl,
+			func() float64 { return float64(ep.errors.Load()) })
+		m.latency[name] = reg.Histogram("ddd_http_request_duration_seconds",
+			"HTTP request latency, by endpoint", lbl, obs.LatencyBuckets)
+	}
+
+	cache := s.cache
+	reg.CounterFunc("ddd_cache_hits_total",
+		"dictionary cache hits", nil,
+		func() float64 { return float64(cache.hits.Load()) })
+	reg.CounterFunc("ddd_cache_misses_total",
+		"dictionary cache misses", nil,
+		func() float64 { return float64(cache.misses.Load()) })
+	reg.CounterFunc("ddd_cache_evictions_total",
+		"dictionary cache evictions", nil,
+		func() float64 { return float64(cache.evictions.Load()) })
+	reg.CounterFunc("ddd_cache_loads_total",
+		"dictionary loads from disk", nil,
+		func() float64 { return float64(cache.loads.Load()) })
+	reg.CounterFunc("ddd_cache_load_errors_total",
+		"failed dictionary loads", nil,
+		func() float64 { return float64(cache.loadErrors.Load()) })
+	reg.GaugeFunc("ddd_cache_entries",
+		"resident dictionaries", nil,
+		func() float64 { return float64(cache.Stats().Entries) })
+	reg.GaugeFunc("ddd_cache_resident_bytes",
+		"accounted bytes of resident dictionaries", nil,
+		func() float64 { return float64(cache.Stats().Bytes) })
+	reg.GaugeFunc("ddd_cache_capacity_bytes",
+		"cache byte budget", nil,
+		func() float64 { return float64(cache.Stats().Capacity) })
+
+	pool := s.pool
+	reg.CounterFunc("ddd_pool_submitted_total",
+		"jobs accepted by the worker pool", nil,
+		func() float64 { return float64(pool.submitted.Load()) })
+	reg.CounterFunc("ddd_pool_rejected_total",
+		"jobs shed by the worker pool (backpressure)", nil,
+		func() float64 { return float64(pool.rejected.Load()) })
+	reg.CounterFunc("ddd_pool_completed_total",
+		"jobs completed by the worker pool", nil,
+		func() float64 { return float64(pool.completed.Load()) })
+	reg.GaugeFunc("ddd_pool_queue_depth",
+		"jobs waiting in the worker queue", nil,
+		func() float64 { return float64(len(pool.jobs)) })
+	reg.GaugeFunc("ddd_pool_queue_capacity",
+		"worker queue capacity", nil,
+		func() float64 { return float64(cap(pool.jobs)) })
+
+	batch := s.batch
+	reg.CounterFunc("ddd_batch_batches_total",
+		"same-dictionary batches executed", nil,
+		func() float64 { return float64(batch.batches.Load()) })
+	reg.CounterFunc("ddd_batch_requests_total",
+		"requests carried by batches", nil,
+		func() float64 { return float64(batch.batched.Load()) })
+
+	reg.GaugeFunc("ddd_server_ready",
+		"1 when the preload list is warm and the server answers readyz 200", nil,
+		func() float64 {
+			if s.ready.Load() {
+				return 1
+			}
+			return 0
+		})
+	return m
+}
+
+// handleMetrics implements GET /metrics: the server registry followed
+// by the process-wide pipeline registry, both deterministically
+// rendered. The endpoint deliberately does not count itself — a
+// scrape must not change the next scrape's output, so idle scrapes
+// stay byte-identical.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.reg.WriteText(w); err != nil {
+		return
+	}
+	_ = obs.Default().WriteText(w)
+}

@@ -32,6 +32,7 @@ import (
 	"io/fs"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -63,6 +64,10 @@ type Config struct {
 	// Preload lists dictionary ids to load before the server reports
 	// ready.
 	Preload []string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and cost CPU, so the operator
+	// opts in (ddd-serve -pprof).
+	EnablePprof bool
 }
 
 func (cfg *Config) applyDefaults() {
@@ -94,6 +99,7 @@ type Server struct {
 	batch     *batcher
 	mux       *http.ServeMux
 	endpoints map[string]*epStats
+	metrics   *serverMetrics
 	ready     atomic.Bool
 
 	httpSrv *http.Server
@@ -123,6 +129,7 @@ func New(cfg Config) (*Server, error) {
 		"/readyz":        {},
 		"/stats":         {},
 	}
+	s.metrics = newServerMetrics(s)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/diagnose", s.instrument("/v1/diagnose", s.handleDiagnose))
 	mux.HandleFunc("GET /v1/dicts", s.instrument("/v1/dicts", s.handleDicts))
@@ -130,6 +137,16 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
+	// /metrics is not instrumented: a scrape must not change the next
+	// scrape's output (idle scrapes stay byte-identical).
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	if len(cfg.Preload) == 0 {
 		s.ready.Store(true)

@@ -55,6 +55,27 @@ func TestSmokeServe(t *testing.T) {
 		t.Fatalf("top-1 = %+v, want arc %d", dr.Ranking, want)
 	}
 
+	// Scrape /metrics and assert the key series families are live:
+	// requests, latency histogram, cache, and pool queue depth (the
+	// `make smoke-serve` observability assertion).
+	metrics := parseMetrics(t, scrapeMetrics(t, url))
+	for _, series := range []string{
+		`ddd_http_requests_total{endpoint="/v1/diagnose"}`,
+		`ddd_http_request_duration_seconds_count{endpoint="/v1/diagnose"}`,
+		"ddd_cache_hits_total",
+		"ddd_cache_misses_total",
+		"ddd_cache_evictions_total",
+		"ddd_pool_queue_depth",
+		"ddd_server_ready",
+	} {
+		if _, ok := metrics[series]; !ok {
+			t.Errorf("smoke: /metrics missing series %s", series)
+		}
+	}
+	if metrics[`ddd_http_requests_total{endpoint="/v1/diagnose"}`] < 1 {
+		t.Error("smoke: diagnose request not counted on /metrics")
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {

@@ -87,13 +87,20 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
-// instrument wraps h with latency/error accounting under name.
+// instrument wraps h with latency/error accounting under name: the
+// epStats atomics feeding /stats plus the endpoint's /metrics latency
+// histogram. The request/error totals on /metrics read the same
+// epStats atomics at scrape time, so the histogram observation is the
+// only per-request instrumentation cost.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.endpoints[name]
+	lat := s.metrics.latency[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
-		ep.observe(time.Since(start), sw.status)
+		d := time.Since(start)
+		ep.observe(d, sw.status)
+		lat.Observe(d.Seconds())
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/circuit"
 )
@@ -24,7 +25,19 @@ type Criticality struct {
 // computes arrival times, walks the critical path backward from the
 // latest output, and counts each traversed arc. Workers bound the
 // parallelism (0 = NumCPU).
+//
+// nSamples <= 0 returns the zero-value Criticality (every probability
+// zero): no samples means no evidence, and an estimate over an empty
+// sample set is the empty estimate, never a division by zero.
 func (m *Model) MonteCarloCriticality(nSamples int, seed uint64, workers int) *Criticality {
+	if nSamples <= 0 {
+		return &Criticality{Prob: make([]float64, len(m.C.Arcs))}
+	}
+	start := time.Now()
+	defer func() {
+		critSeconds.Add(time.Since(start).Seconds())
+	}()
+	critSamples.Add(float64(nSamples))
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}

@@ -90,3 +90,25 @@ func TestCriticalityTop(t *testing.T) {
 		t.Errorf("top criticality suspiciously low: %v", cr.Prob[top[0]])
 	}
 }
+
+func TestCriticalityZeroSamples(t *testing.T) {
+	// nSamples <= 0 is the documented zero-value early return: every
+	// probability zero, no division by zero, no panic.
+	src := "INPUT(a)\nOUTPUT(n2)\nn1 = NOT(a)\nn2 = NOT(n1)\n"
+	c, err := benchfmt.ParseString(src, "chain", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(c, DefaultParams())
+	for _, n := range []int{0, -3} {
+		cr := m.MonteCarloCriticality(n, 4, 0)
+		if len(cr.Prob) != len(c.Arcs) {
+			t.Fatalf("nSamples=%d: len(Prob) = %d, want %d", n, len(cr.Prob), len(c.Arcs))
+		}
+		for i, p := range cr.Prob {
+			if p != 0 {
+				t.Errorf("nSamples=%d: arc %d criticality = %v, want 0", n, i, p)
+			}
+		}
+	}
+}

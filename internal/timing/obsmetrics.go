@@ -1,0 +1,27 @@
+package timing
+
+import (
+	"repro/internal/obs"
+)
+
+// Process-wide sample counters (obs.Default registry) for the
+// Monte-Carlo timing analyses. Each analysis adds its whole sample
+// count once per call; ArrivalTimes adds one per evaluation, which is
+// a single atomic add against a full topological walk, so the hot
+// sampling loops stay unmeasurably close to their uninstrumented
+// cost while every scrape can tell how much timing work the process
+// has done.
+var (
+	critSamples = obs.Default().Counter("ddd_timing_samples_total",
+		"Monte-Carlo instances sampled, by analysis", obs.Labels{"kind": "criticality"})
+	staSamples = obs.Default().Counter("ddd_timing_samples_total",
+		"Monte-Carlo instances sampled, by analysis", obs.Labels{"kind": "sta"})
+	tlSamples = obs.Default().Counter("ddd_timing_samples_total",
+		"Monte-Carlo instances sampled, by analysis", obs.Labels{"kind": "timing_length"})
+	critSeconds = obs.Default().Counter("ddd_timing_seconds_total",
+		"wall time in Monte-Carlo timing analyses, by analysis", obs.Labels{"kind": "criticality"})
+	staSeconds = obs.Default().Counter("ddd_timing_seconds_total",
+		"wall time in Monte-Carlo timing analyses, by analysis", obs.Labels{"kind": "sta"})
+	arrivalEvals = obs.Default().Counter("ddd_timing_arrival_evals_total",
+		"ArrivalTimes evaluations (one static timing pass per sampled instance)", nil)
+)

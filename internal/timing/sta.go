@@ -2,6 +2,7 @@ package timing
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/dist"
@@ -15,6 +16,7 @@ import (
 // driver arrival plus the arc delay. The returned slice is indexed by
 // GateID.
 func (m *Model) ArrivalTimes(in *Instance) []float64 {
+	arrivalEvals.Inc()
 	arr := make([]float64, len(m.C.Gates))
 	for _, gid := range m.C.Order {
 		g := &m.C.Gates[gid]
@@ -52,6 +54,13 @@ func (r *STAResult) CriticalProb(clk float64) float64 {
 // running static timing on each, fanning out across workers goroutines
 // (0 = NumCPU).
 func (m *Model) MonteCarloSTA(nSamples int, seed uint64, workers int) *STAResult {
+	start := time.Now()
+	defer func() {
+		staSeconds.Add(time.Since(start).Seconds())
+	}()
+	if nSamples > 0 {
+		staSamples.Add(float64(nSamples))
+	}
 	nOut := len(m.C.Outputs)
 	perOut := make([][]float64, nOut)
 	for i := range perOut {
@@ -136,6 +145,9 @@ func PathDelay(in *Instance, arcs []circuit.ArcID) float64 {
 // TimingLength estimates the statistical timing length TL(p) of a path
 // by Monte Carlo over nSamples instances.
 func (m *Model) TimingLength(arcs []circuit.ArcID, nSamples int, seed uint64) *dist.Empirical {
+	if nSamples > 0 {
+		tlSamples.Add(float64(nSamples))
+	}
 	xs := make([]float64, nSamples)
 	par.For(nSamples, 0, func(s int) {
 		in := m.SampleInstanceSeeded(seed, uint64(s))
