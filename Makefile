@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-obs ci test race bench bench-serve smoke-serve fuzz table1 figures ablate clean
+.PHONY: all build vet lint lint-obs ci test race bench bench-serve smoke-serve smoke-resume chaos fuzz table1 figures ablate clean
 
 all: build vet lint test
 
@@ -25,9 +25,9 @@ lint-obs:
 	$(GO) run ./cmd/ddd-lint ./internal/obs/...
 
 # ci is the pre-merge gate: build, vet, ddd-lint (full + the obs
-# layer), the full test suite under the race detector, and the
-# ddd-serve end-to-end smoke.
-ci: build lint lint-obs smoke-serve
+# layer), the full test suite under the race detector, the ddd-serve
+# end-to-end smoke, and the kill-and-resume checkpoint smoke.
+ci: build lint lint-obs smoke-serve smoke-resume
 	$(GO) test -race ./...
 
 # smoke-serve boots ddd-serve on a random port with a generated test
@@ -37,6 +37,20 @@ ci: build lint lint-obs smoke-serve
 # shuts down gracefully.
 smoke-serve:
 	$(GO) test ./internal/service -run '^TestSmokeServe$$' -count=1 -v
+
+# smoke-resume builds ddd-table1, SIGKILLs a checkpointed run
+# mid-journal, resumes it, and byte-compares the final table against
+# an uninterrupted run.
+smoke-resume:
+	$(GO) test ./cmd/ddd-table1 -run '^TestKillAndResumeReproducesTable$$' -count=1 -v
+
+# chaos runs the deterministic fault-injection suite under the race
+# detector: failed loads never poison the singleflight, worker panics
+# are contained, corrupted dictionaries are rejected, deadline 504s
+# free their worker slots, and degraded batches stay byte-identical.
+chaos:
+	$(GO) test -race ./internal/fault -count=1
+	$(GO) test -race ./internal/service -run '^TestChaos' -count=1 -v
 
 test:
 	$(GO) test ./...
@@ -59,6 +73,7 @@ bench-serve:
 fuzz:
 	$(GO) test ./internal/benchfmt -fuzz=FuzzParse -fuzztime 30s
 	$(GO) test ./internal/core -fuzz=FuzzLoadDictionary -fuzztime 30s
+	$(GO) test ./internal/eval -fuzz=FuzzCheckpointJournal -fuzztime 30s
 
 table1:
 	$(GO) run ./cmd/ddd-table1 -n 20

@@ -19,12 +19,19 @@
 // Usage:
 //
 //	ddd-ablate [-exp all] [-circuit small] [-n 10]
+//	          [-checkpoint DIR [-resume]]
+//
+// With -checkpoint, the RunCircuit-based experiments journal every
+// completed case to DIR/<experiment-variant>.journal (crash-safe
+// temp-file+rename writes); -resume skips journaled cases on a rerun
+// and reproduces the same numbers bit-exactly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/atpg"
 	"repro/internal/circuit"
@@ -37,11 +44,40 @@ import (
 	"repro/internal/timing"
 )
 
+// ckDir/ckResume hold the -checkpoint/-resume flags; withCheckpoint
+// applies them to one experiment variant's config under a distinct
+// journal name so variants resume independently.
+var (
+	ckDir    string
+	ckResume bool
+)
+
+func withCheckpoint(cfg eval.Config, name string) eval.Config {
+	if ckDir != "" {
+		cfg.CheckpointPath = filepath.Join(ckDir, name+".journal")
+		cfg.Resume = ckResume
+	}
+	return cfg
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: multi, autok, size, compress, errfuncs or all")
 	circuitName := flag.String("circuit", "small", "circuit profile")
 	n := flag.Int("n", 10, "cases per experiment")
+	checkpoint := flag.String("checkpoint", "", "journal completed cases to DIR/<experiment>.journal (crash-safe)")
+	resume := flag.Bool("resume", false, "skip cases already journaled (requires -checkpoint)")
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "ddd-ablate: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *checkpoint != "" {
+		if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ddd-ablate:", err)
+			os.Exit(1)
+		}
+	}
+	ckDir, ckResume = *checkpoint, *resume
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -80,7 +116,7 @@ func patternsExp(circuitName string, n int) error {
 	for _, p := range []int{2, 4, 8, 12} {
 		cfg := baseConfig(circuitName, n)
 		cfg.MaxPatterns = p
-		res, err := eval.RunCircuit(cfg)
+		res, err := eval.RunCircuit(withCheckpoint(cfg, fmt.Sprintf("patterns-%d", p)))
 		if err != nil {
 			return err
 		}
@@ -150,7 +186,7 @@ func staticExp(circuitName string, n int) error {
 	if err != nil {
 		return err
 	}
-	tgt, err := eval.RunCircuit(baseConfig(circuitName, n))
+	tgt, err := eval.RunCircuit(withCheckpoint(baseConfig(circuitName, n), "static-targeted"))
 	if err != nil {
 		return err
 	}
@@ -183,7 +219,7 @@ func multiExp(circuitName string, n int) error {
 }
 
 func autokExp(circuitName string, n int) error {
-	res, err := eval.RunCircuit(baseConfig(circuitName, n))
+	res, err := eval.RunCircuit(withCheckpoint(baseConfig(circuitName, n), "autok"))
 	if err != nil {
 		return err
 	}
@@ -201,9 +237,10 @@ func sizeExp(circuitName string, n int) error {
 	wide.AssumedSizeFactor = [2]float64{0.25, 1.5}
 	for _, c := range []struct {
 		name string
+		ck   string
 		cfg  eval.Config
-	}{{"paper default (N(0.75, 0.125²)·cell)", base}, {"wide uniform (U[0.25,1.5]·cell)", wide}} {
-		res, err := eval.RunCircuit(c.cfg)
+	}{{"paper default (N(0.75, 0.125²)·cell)", "size-default", base}, {"wide uniform (U[0.25,1.5]·cell)", "size-wide", wide}} {
+		res, err := eval.RunCircuit(withCheckpoint(c.cfg, c.ck))
 		if err != nil {
 			return err
 		}
@@ -267,7 +304,7 @@ func compressExp(circuitName string) error {
 func errfuncsExp(circuitName string, n int) error {
 	// Re-run the standard experiment but rank with the extra error
 	// functions on each diagnosable case, measured at K = 5.
-	cfg := baseConfig(circuitName, n)
+	cfg := withCheckpoint(baseConfig(circuitName, n), "errfuncs")
 	c, err := synth.GenerateNamed(cfg.Circuit, cfg.CircuitSeed)
 	if err != nil {
 		return err

@@ -73,12 +73,9 @@ func build(args []string) error {
 		return err
 	}
 	cd := core.Compress(sd.Dict)
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := cd.Save(f, len(sd.C.Inputs)); err != nil {
+	// Atomic write: a crash or full disk mid-save must never leave a
+	// torn .dict file for ddd-serve to trip over.
+	if err := cd.SaveFileAtomic(*out, len(sd.C.Inputs)); err != nil {
 		return err
 	}
 	fmt.Printf("built %s: %d suspects, %d patterns, clk %.3f\n",

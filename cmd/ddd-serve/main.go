@@ -15,11 +15,18 @@
 //	curl -s localhost:8344/stats
 //	curl -s localhost:8344/metrics
 //
-// Endpoints: POST /v1/diagnose, GET /v1/dicts, GET /v1/dicts/{id},
-// GET /healthz, GET /readyz (503 until the preload list is warm),
-// GET /stats, GET /metrics (Prometheus text format), and with -pprof
-// the net/http/pprof suite under /debug/pprof/. SIGINT/SIGTERM drain
-// in-flight requests before exit.
+// Endpoints: POST /v1/diagnose, POST /v1/diagnose/batch, GET
+// /v1/dicts, GET /v1/dicts/{id}, GET /healthz, GET /readyz (503 until
+// the preload list is warm), GET /stats, GET /metrics (Prometheus
+// text format), and with -pprof the net/http/pprof suite under
+// /debug/pprof/. SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Chaos engineering: -faults (or the DDD_FAULTS environment variable)
+// arms deterministic fault-injection sites, comma-separated
+// "site:prob:seed[:param]" clauses — see internal/fault. The flag
+// wins when both are set. -load-retries bounds transparent retries of
+// failed dictionary loads (capped exponential backoff, deterministic
+// jitter); not-found is never retried.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -44,7 +52,10 @@ func main() {
 	workers := flag.Int("workers", 0, "diagnosis workers (0 = NumCPU)")
 	queue := flag.Int("queue", 64, "worker queue depth (full queue answers 429)")
 	batchWorkers := flag.Int("batch-workers", 0, "parallelism inside one same-dictionary batch (0 = min(4, NumCPU))")
-	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (alias of -request-timeout)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline; wins over -timeout when set")
+	loadRetries := flag.Int("load-retries", 2, "transparent retries of a failed dictionary load (0 = fail fast)")
+	faults := flag.String("faults", "", "arm fault-injection sites: comma-separated site:prob:seed[:param] (also DDD_FAULTS env; flag wins)")
 	preload := flag.String("preload", "", "comma-separated dictionary ids to warm before ready, or \"all\"")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain budget")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -55,12 +66,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *dicts, *cacheMB, *shards, *workers, *queue, *batchWorkers, *timeout, *preload, *grace, *pprofFlag); err != nil {
+	if *reqTimeout > 0 {
+		*timeout = *reqTimeout
+	}
+	spec := *faults
+	if spec == "" {
+		spec = os.Getenv("DDD_FAULTS")
+	}
+	if err := fault.Configure(spec); err != nil {
+		log.Fatalf("ddd-serve: %v", err)
+	}
+	if spec != "" {
+		log.Printf("fault injection armed: %s", spec)
+	}
+	if err := run(*addr, *dicts, *cacheMB, *shards, *workers, *queue, *batchWorkers, *timeout, *loadRetries, *preload, *grace, *pprofFlag); err != nil {
 		log.Fatalf("ddd-serve: %v", err)
 	}
 }
 
-func run(addr, dicts string, cacheMB int64, shards, workers, queue, batchWorkers int, timeout time.Duration, preload string, grace time.Duration, enablePprof bool) error {
+func run(addr, dicts string, cacheMB int64, shards, workers, queue, batchWorkers int, timeout time.Duration, loadRetries int, preload string, grace time.Duration, enablePprof bool) error {
 	cfg := service.Config{
 		Dir:            dicts,
 		CacheBytes:     cacheMB << 20,
@@ -69,6 +93,7 @@ func run(addr, dicts string, cacheMB int64, shards, workers, queue, batchWorkers
 		QueueDepth:     queue,
 		BatchWorkers:   batchWorkers,
 		RequestTimeout: timeout,
+		LoadRetries:    loadRetries,
 		EnablePprof:    enablePprof,
 	}
 	var err error

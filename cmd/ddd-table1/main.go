@@ -10,12 +10,20 @@
 // Usage:
 //
 //	ddd-table1 [-circuits s1196,s1238] [-n 20] [-samples 96] [-quick] [-v] [-timings]
+//	          [-checkpoint DIR [-resume]]
+//
+// With -checkpoint, every completed case is journaled crash-safely to
+// DIR/<circuit>.journal; -resume then skips journaled cases on a
+// rerun, reproducing the final table byte-identically (per-case
+// random streams derive from the case index, so a resumed case is
+// bit-exactly the case a single run would have computed).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -33,7 +41,19 @@ func main() {
 	timings := flag.Bool("timings", false, "per-stage wall-time breakdown per circuit (stderr)")
 	wideSize := flag.Bool("wide-size", false, "dictionary assumes Uniform[0.25,1.5] cell-delay defect sizes")
 	csvOut := flag.String("csv", "", "also write measured rows as CSV to this file")
+	checkpoint := flag.String("checkpoint", "", "journal completed cases to DIR/<circuit>.journal (crash-safe)")
+	resume := flag.Bool("resume", false, "skip cases already in the checkpoint journal (requires -checkpoint)")
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "ddd-table1: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+	if *checkpoint != "" {
+		if err := os.MkdirAll(*checkpoint, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "ddd-table1:", err)
+			os.Exit(1)
+		}
+	}
 
 	var all []eval.Table1Row
 	for _, name := range strings.Split(*circuits, ",") {
@@ -57,6 +77,10 @@ func main() {
 			if cfg.MaxSuspects == 0 {
 				cfg.MaxSuspects = 150
 			}
+		}
+		if *checkpoint != "" {
+			cfg.CheckpointPath = filepath.Join(*checkpoint, name+".journal")
+			cfg.Resume = *resume
 		}
 		start := time.Now()
 		res, err := eval.RunCircuit(cfg)

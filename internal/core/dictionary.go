@@ -1,14 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/dist"
 	"repro/internal/logicsim"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/timing"
 	"repro/internal/tsim"
@@ -65,6 +66,18 @@ type Dictionary struct {
 // skipped entirely when the suspect arc's driver never transitions
 // under a pattern (the defect cannot change that pattern's response).
 func BuildDictionary(m *timing.Model, patterns []logicsim.PatternPair, suspects []circuit.ArcID, cfg DictConfig) (*Dictionary, error) {
+	return BuildDictionaryCtx(context.Background(), m, patterns, suspects, cfg)
+}
+
+// BuildDictionaryCtx is BuildDictionary with cooperative cancellation:
+// each worker checks ctx between Monte-Carlo samples (a sample is a
+// full dynamic timing pass over every pattern and suspect, so the
+// check granularity is already coarse work) and stops claiming more
+// once ctx is done. A cancelled build returns (nil, ctx.Err()): a
+// dictionary averaged over fewer samples than cfg.Samples would have
+// silently inflated variance, so no partial dictionary is ever
+// returned.
+func BuildDictionaryCtx(ctx context.Context, m *timing.Model, patterns []logicsim.PatternPair, suspects []circuit.ArcID, cfg DictConfig) (*Dictionary, error) {
 	c := m.C
 	if len(patterns) == 0 {
 		return nil, fmt.Errorf("core: no patterns")
@@ -87,15 +100,12 @@ func BuildDictionary(m *timing.Model, patterns []logicsim.PatternPair, suspects 
 	defer func() {
 		dictBuildSeconds.Add(time.Since(start).Seconds())
 	}()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dictBuilds.Inc()
 	dictBuildSamples.Add(float64(cfg.Samples))
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > cfg.Samples {
-		workers = cfg.Samples
-	}
+	workers := par.Workers(cfg.Workers, cfg.Samples)
 
 	nOut, nPat, nSus := len(c.Outputs), len(patterns), len(suspects)
 
@@ -125,6 +135,9 @@ func BuildDictionary(m *timing.Model, patterns []logicsim.PatternPair, suspects 
 			engInc := tsim.NewEngine(c)
 			baseFail := make([]bool, nOut)
 			for s := w; s < cfg.Samples; s += workers {
+				if ctx.Err() != nil {
+					return
+				}
 				inst := m.SampleInstanceSeeded(cfg.Seed, uint64(s))
 				// One defect size per (sample, suspect): a die has a
 				// single defect of one size.
@@ -175,6 +188,9 @@ func BuildDictionary(m *timing.Model, patterns []logicsim.PatternPair, suspects 
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	d := &Dictionary{
 		C:        c,

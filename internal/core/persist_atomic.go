@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// SaveFileAtomic writes the dictionary to path so that a crash at any
+// moment leaves either the previous file or the complete new one —
+// never a torn .dict. The write goes to a temp file in the same
+// directory (rename is only atomic within one filesystem), is fsynced
+// to push the bytes to stable storage before the name appears, then
+// renamed over path; finally the directory is fsynced so the rename
+// itself survives a power cut. Long-running services load these files
+// with a strict decoder — this writer is what guarantees the decoder
+// never sees a half-written dictionary after a crash.
+func (cd *CompressedDictionary) SaveFileAtomic(path string, nInputs int) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: atomic save: %w", err)
+	}
+	tmpName := tmp.Name()
+	// On any failure past this point the temp file is removed; the
+	// destination is untouched until the rename.
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("core: atomic save %s: %w", path, err)
+	}
+	if err := cd.Save(tmp, nInputs); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: atomic save %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: atomic save %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename is durable.
+// Platforms where directories cannot be fsynced degrade to a no-op.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -6,9 +6,11 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/circuit"
@@ -50,6 +52,20 @@ type Config struct {
 	// for the size-assumption sensitivity experiment when the cell
 	// delay is not known up front.
 	AssumedSizeFactor [2]float64
+
+	// CheckpointPath, when set, journals every completed case to this
+	// file (crash-safe: temp file + fsync + rename per case). With
+	// Resume also set, cases already in a matching journal are loaded
+	// instead of recomputed — bit-exact, because all per-case
+	// randomness derives from (Seed, case index). A journal written
+	// under a different configuration is an error under Resume and is
+	// overwritten without it. None of these knobs affect results.
+	CheckpointPath string
+	Resume         bool
+	// CaseTimeout, when positive, bounds each case's wall time; an
+	// expired case aborts the run with a deadline error rather than
+	// recording a silently truncated result.
+	CaseTimeout time.Duration
 }
 
 // DefaultConfig returns the experiment parameters used for Table I.
@@ -221,27 +237,69 @@ func RunCircuit(cfg Config) (*CircuitResult, error) {
 // RunOnCircuit is RunCircuit over an already-built circuit (e.g. a
 // parsed real ISCAS'89 netlist).
 func RunOnCircuit(c *circuit.Circuit, cfg Config) (*CircuitResult, error) {
+	return RunOnCircuitCtx(context.Background(), c, cfg)
+}
+
+// RunOnCircuitCtx is RunOnCircuit with cooperative cancellation and
+// checkpointing. ctx is checked between cases (and threaded into the
+// dictionary build, the dominant cost, which checks it per sample);
+// cfg.CaseTimeout additionally bounds each case. When
+// cfg.CheckpointPath is set, completed cases are journaled as the run
+// goes and — under cfg.Resume — cases already journaled are loaded
+// instead of recomputed, bit-exactly (per-case RNG streams derive
+// from the case index, never from sequential state).
+func RunOnCircuitCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*CircuitResult, error) {
 	if cfg.N < 1 {
 		return nil, fmt.Errorf("eval: N = %d", cfg.N)
 	}
 	if cfg.Timing == (timing.Params{}) {
 		cfg.Timing = timing.DefaultParams()
 	}
+	var ck *Checkpoint
+	if cfg.CheckpointPath != "" {
+		var err error
+		ck, err = LoadCheckpoint(cfg.CheckpointPath, cfg, cfg.Resume)
+		if err != nil {
+			return nil, err
+		}
+	}
 	m := timing.NewModel(c, cfg.Timing)
 	inj := defect.NewInjector(c, m.MeanCellDelay(), defect.DefaultParams())
 	res := &CircuitResult{Config: cfg, Stats: c.Stats(), Timings: obs.NewStages()}
 
 	for i := 0; i < cfg.N; i++ {
-		cs, err := runCase(c, m, inj, cfg, i, res.Timings)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if ck != nil {
+			if cs, ok := ck.Get(i); ok {
+				res.Cases = append(res.Cases, cs)
+				continue
+			}
+		}
+		caseCtx, cancel := ctx, context.CancelFunc(func() {})
+		if cfg.CaseTimeout > 0 {
+			caseCtx, cancel = context.WithTimeout(ctx, cfg.CaseTimeout)
+		}
+		cs, err := runCase(caseCtx, c, m, inj, cfg, i, res.Timings)
+		cancel()
 		if err != nil {
 			return nil, fmt.Errorf("eval: case %d: %w", i, err)
+		}
+		if ck != nil {
+			if err := ck.Record(i, cs); err != nil {
+				return nil, err
+			}
 		}
 		res.Cases = append(res.Cases, cs)
 	}
 	return res, nil
 }
 
-func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Config, i int, st *obs.Stages) (CaseResult, error) {
+func runCase(ctx context.Context, c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Config, i int, st *obs.Stages) (CaseResult, error) {
+	if err := ctx.Err(); err != nil {
+		return CaseResult{}, err
+	}
 	evalCases.Inc()
 	caseSeed := rng.DeriveN(cfg.Seed, 0xca5e, uint64(i))
 	r := rng.New(caseSeed)
@@ -318,7 +376,7 @@ func runCase(c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Conf
 		}
 	}
 	stop = st.Start("dict_build")
-	dict, err := core.BuildDictionary(m, pats, suspects, core.DictConfig{
+	dict, err := core.BuildDictionaryCtx(ctx, m, pats, suspects, core.DictConfig{
 		Clk:         clk,
 		Samples:     cfg.DictSamples,
 		Seed:        rng.Derive(caseSeed, 4),

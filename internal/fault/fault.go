@@ -1,0 +1,235 @@
+// Package fault provides deterministic, seeded fault injection for
+// chaos testing the long-running pipeline: named injection points
+// (Points) that subsystems embed at their failure-prone sites — cache
+// loads, dictionary decodes, worker loops, request handlers — and that
+// an operator or test arms with a probability and a seed.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when disarmed. A disarmed Point's Hit() is a single
+//     atomic load and a branch, so production binaries pay nothing for
+//     carrying the sites. No build tags: the same binary that serves
+//     production runs the chaos suite.
+//   - Deterministic. An armed Point draws from its own seeded PCG
+//     stream (never the global math/rand state, never the clock), so a
+//     chaos run with a fixed spec replays the same hit sequence. At
+//     probability 1 no randomness is consumed at all — every call
+//     hits — which is what the byte-determinism chaos assertions use.
+//   - Declarative activation. Sites are armed from one spec string
+//     ("site:prob:seed[:param]", comma-separated) supplied by the
+//     -faults flag or the DDD_FAULTS environment variable; unknown
+//     site names are an error listing the registered inventory, so a
+//     typo cannot silently chaos-test nothing.
+//
+// Every injection increments the ddd_faults_injected_total{site=...}
+// counter on the process obs registry, so an armed fault is always
+// visible on /metrics.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// Point is one named injection site. Obtain one with Register at
+// package init; call Hit() (or a helper built on it) at the site.
+type Point struct {
+	name  string
+	armed atomic.Bool
+
+	mu    sync.Mutex
+	prob  float64
+	param float64
+	r     interface{ Float64() float64 }
+
+	injected atomic.Int64
+}
+
+// Name returns the site name the point was registered under.
+func (p *Point) Name() string { return p.name }
+
+// Hit reports whether the fault fires at this call. Disarmed points
+// return false after one atomic load. Armed points draw from the
+// point's seeded stream — except at probability >= 1, where every call
+// hits without consuming randomness (the deterministic chaos mode).
+func (p *Point) Hit() bool {
+	if !p.armed.Load() {
+		return false
+	}
+	p.mu.Lock()
+	hit := p.prob >= 1 || (p.prob > 0 && p.r != nil && p.r.Float64() < p.prob)
+	p.mu.Unlock()
+	if hit {
+		p.injected.Add(1)
+	}
+	return hit
+}
+
+// Param returns the site's optional numeric parameter from the spec's
+// fourth field (e.g. a stall duration in milliseconds), or def when
+// the spec did not set one.
+func (p *Point) Param(def float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.param == 0 {
+		return def
+	}
+	return p.param
+}
+
+// Injected returns how many times this point has fired.
+func (p *Point) Injected() int64 { return p.injected.Load() }
+
+// arm configures and enables the point.
+func (p *Point) arm(prob float64, seed uint64, param float64) {
+	p.mu.Lock()
+	p.prob, p.param = prob, param
+	p.r = rng.New(seed)
+	p.mu.Unlock()
+	p.armed.Store(true)
+}
+
+// disarm turns the point off (its injected counter is preserved:
+// counters are monotone).
+func (p *Point) disarm() {
+	p.armed.Store(false)
+}
+
+var (
+	regMu  sync.Mutex
+	points = map[string]*Point{}
+)
+
+// Register returns the Point for a site name, creating it on first
+// use. Call it once per site from a package-level var so the site
+// exists before Configure parses any spec. Registering the same name
+// twice returns the same Point.
+func Register(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if p, ok := points[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	points[name] = p
+	obs.Default().CounterFunc("ddd_faults_injected_total",
+		"fault injections fired, by site", obs.Labels{"site": name},
+		func() float64 { return float64(p.injected.Load()) })
+	return p
+}
+
+// Sites returns the registered site names, sorted — the inventory the
+// -faults flag accepts.
+func Sites() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(points))
+	for name := range points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Configure arms points from a spec: comma-separated
+// "site:prob:seed[:param]" clauses, e.g.
+//
+//	cache-load-error:1:42
+//	slow-handler:0.25:7:250
+//
+// prob is a probability in [0, 1], seed a uint64 for the site's
+// deterministic stream, and param an optional site-specific number
+// (Point.Param). An empty spec is a no-op. Unknown sites, malformed
+// clauses and out-of-range probabilities are errors and leave already
+// parsed clauses unarmed — Configure arms either the whole spec or
+// nothing.
+func Configure(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	type armReq struct {
+		p     *Point
+		prob  float64
+		seed  uint64
+		param float64
+	}
+	var reqs []armReq
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		parts := strings.Split(clause, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return fmt.Errorf("fault: clause %q is not site:prob:seed[:param]", clause)
+		}
+		regMu.Lock()
+		p, ok := points[parts[0]]
+		regMu.Unlock()
+		if !ok {
+			return fmt.Errorf("fault: unknown site %q (registered: %s)", parts[0], strings.Join(Sites(), ", "))
+		}
+		prob, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return fmt.Errorf("fault: clause %q: probability must be in [0, 1]", clause)
+		}
+		seed, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("fault: clause %q: bad seed: %v", clause, err)
+		}
+		param := 0.0
+		if len(parts) == 4 {
+			param, err = strconv.ParseFloat(parts[3], 64)
+			if err != nil {
+				return fmt.Errorf("fault: clause %q: bad param: %v", clause, err)
+			}
+		}
+		reqs = append(reqs, armReq{p: p, prob: prob, seed: seed, param: param})
+	}
+	for _, rq := range reqs {
+		rq.p.arm(rq.prob, rq.seed, rq.param)
+	}
+	return nil
+}
+
+// Reset disarms every registered point. Chaos tests defer it so an
+// armed fault never leaks into the next test.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range points {
+		p.disarm()
+	}
+}
+
+// CorruptingReader wraps r so the first byte read is bit-flipped —
+// enough to break any length-prefixed or magic-tagged format
+// deterministically. Used by the dict-corrupt site to hand the
+// dictionary decoder torn bytes without touching the file on disk.
+type CorruptingReader struct {
+	R     io.Reader
+	first bool
+}
+
+// NewCorruptingReader returns a reader that flips the first byte of r.
+func NewCorruptingReader(r io.Reader) *CorruptingReader {
+	return &CorruptingReader{R: r}
+}
+
+func (c *CorruptingReader) Read(p []byte) (int, error) {
+	n, err := c.R.Read(p)
+	if !c.first && n > 0 {
+		p[0] ^= 0xff
+		c.first = true
+	}
+	return n, err
+}

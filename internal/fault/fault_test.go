@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestDisarmedPointNeverHits(t *testing.T) {
+	p := Register("test-disarmed")
+	for i := 0; i < 1000; i++ {
+		if p.Hit() {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	if p.Injected() != 0 {
+		t.Errorf("injected = %d, want 0", p.Injected())
+	}
+}
+
+func TestConfigureProbOneAlwaysHits(t *testing.T) {
+	p := Register("test-always")
+	defer Reset()
+	if err := Configure("test-always:1:42"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !p.Hit() {
+			t.Fatal("prob-1 point missed")
+		}
+	}
+	if p.Injected() != 100 {
+		t.Errorf("injected = %d, want 100", p.Injected())
+	}
+}
+
+func TestConfigureDeterministicSequence(t *testing.T) {
+	p := Register("test-seq")
+	defer Reset()
+	run := func() []bool {
+		if err := Configure("test-seq:0.5:7"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.Hit()
+		}
+		return out
+	}
+	a, b := run(), run()
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit sequence diverged at %d for identical spec", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Errorf("prob 0.5 produced %d/%d hits", hits, len(a))
+	}
+}
+
+func TestConfigureParamAndDefault(t *testing.T) {
+	p := Register("test-param")
+	defer Reset()
+	if err := Configure("test-param:1:1:250"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Param(100); got != 250 {
+		t.Errorf("Param = %v, want 250", got)
+	}
+	if err := Configure("test-param:1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Param(100); got != 100 {
+		t.Errorf("Param default = %v, want 100", got)
+	}
+}
+
+func TestConfigureRejectsMalformedSpecs(t *testing.T) {
+	Register("test-valid")
+	defer Reset()
+	for _, spec := range []string{
+		"test-valid",              // too few fields
+		"test-valid:1",            // too few fields
+		"test-valid:1:2:3:4",      // too many fields
+		"test-valid:2:1",          // prob out of range
+		"test-valid:-0.5:1",       // prob out of range
+		"test-valid:x:1",          // bad prob
+		"test-valid:1:notanumber", // bad seed
+		"test-valid:1:1:zzz",      // bad param
+		"no-such-site:1:1",        // unknown site
+	} {
+		if err := Configure(spec); err == nil {
+			t.Errorf("Configure(%q) accepted a malformed spec", spec)
+		}
+	}
+}
+
+func TestConfigureUnknownSiteListsInventory(t *testing.T) {
+	Register("test-inventory")
+	err := Configure("definitely-unknown:1:1")
+	if err == nil || !strings.Contains(err.Error(), "test-inventory") {
+		t.Errorf("unknown-site error %v does not list the registered inventory", err)
+	}
+}
+
+func TestConfigureAllOrNothing(t *testing.T) {
+	a := Register("test-atomic-a")
+	defer Reset()
+	if err := Configure("test-atomic-a:1:1,bogus-site:1:1"); err == nil {
+		t.Fatal("spec with an unknown site accepted")
+	}
+	if a.Hit() {
+		t.Error("valid clause armed despite a later invalid clause")
+	}
+}
+
+func TestConfigureEmptySpecIsNoop(t *testing.T) {
+	if err := Configure(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := Configure("  "); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigureMultipleSites(t *testing.T) {
+	a, b := Register("test-multi-a"), Register("test-multi-b")
+	defer Reset()
+	if err := Configure("test-multi-a:1:1, test-multi-b:1:2"); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Hit() || !b.Hit() {
+		t.Error("comma-separated clauses did not arm both sites")
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	p := Register("test-reset")
+	if err := Configure("test-reset:1:1"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Hit() {
+		t.Fatal("armed point missed")
+	}
+	Reset()
+	if p.Hit() {
+		t.Error("point still firing after Reset")
+	}
+	if p.Injected() != 1 {
+		t.Errorf("injected = %d after Reset, want the preserved 1", p.Injected())
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	if Register("test-idem") != Register("test-idem") {
+		t.Error("Register returned distinct points for one name")
+	}
+}
+
+func TestCorruptingReaderFlipsFirstByte(t *testing.T) {
+	in := []byte("DDD1rest of the payload")
+	got, err := io.ReadAll(NewCorruptingReader(bytes.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != in[0]^0xff {
+		t.Errorf("first byte = %#x, want %#x", got[0], in[0]^0xff)
+	}
+	if !bytes.Equal(got[1:], in[1:]) {
+		t.Error("bytes past the first were altered")
+	}
+}
+
+func TestCorruptingReaderTinyReads(t *testing.T) {
+	in := []byte{0x00, 0x01, 0x02}
+	cr := NewCorruptingReader(bytes.NewReader(in))
+	buf := make([]byte, 1)
+	var out []byte
+	for {
+		n, err := cr.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []byte{0xff, 0x01, 0x02}
+	if !bytes.Equal(out, want) {
+		t.Errorf("out = %#v, want %#v", out, want)
+	}
+}
+
+func BenchmarkDisarmedHit(b *testing.B) {
+	p := Register("bench-disarmed")
+	for i := 0; i < b.N; i++ {
+		if p.Hit() {
+			b.Fatal("disarmed point fired")
+		}
+	}
+}

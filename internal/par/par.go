@@ -5,6 +5,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -30,9 +31,24 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("par: panic on item %d: %v", e.Index, e.Value)
 }
 
+// Workers returns the effective worker count For/ForCtx use for n
+// items: workers when positive, else GOMAXPROCS(0) — the scheduler's
+// actual parallelism budget, not the machine's NumCPU, so a process
+// confined with GOMAXPROCS=k never oversubscribes — clamped to n.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
+}
+
 // For runs fn(i) for every i in [0, n) on up to workers goroutines
-// (workers <= 0 selects NumCPU). It returns when all items finish. fn
-// must be safe for concurrent invocation on distinct indices.
+// (workers <= 0 selects GOMAXPROCS(0); see Workers). It returns when
+// all items finish. fn must be safe for concurrent invocation on
+// distinct indices.
 //
 // If fn panics, For re-panics on the calling goroutine with a
 // *PanicError carrying the panicking item's index and the original
@@ -41,34 +57,53 @@ func (e *PanicError) Error() string {
 // (or their own recovery) before For unwinds, so no worker is left
 // touching caller-owned slots after For returns.
 func For(n, workers int, fn func(i int)) {
+	_, _ = ForCtx(context.Background(), n, workers, fn)
+}
+
+// ForCtx is For with cooperative cancellation: workers check ctx
+// between items and stop claiming new ones once ctx is done. Items
+// already started run to completion — fn is never interrupted mid-item
+// — so every slot written by fn is fully written. It returns the
+// number of items that completed and ctx.Err() (nil when all n items
+// ran). The completed count is exact but which items completed under a
+// mid-run cancellation depends on scheduling; callers that need a
+// usable partial result must track per-item completion themselves.
+//
+// Panic semantics match For: the first recovered worker panic
+// re-panics on the caller as a *PanicError after the join.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) (int, error) {
 	if n <= 0 {
-		return
+		return 0, ctx.Err()
 	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = Workers(workers, n)
 	if workers == 1 {
+		done := 0
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return done, err
+			}
 			call(i, fn, nil)
+			done++
 		}
-		return
+		return done, ctx.Err()
 	}
 	var firstPanic atomic.Pointer[PanicError]
-	var next atomic.Int64
+	var next, completed atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				call(i, fn, &firstPanic)
+				completed.Add(1)
 			}
 		}()
 	}
@@ -76,6 +111,7 @@ func For(n, workers int, fn func(i int)) {
 	if pe := firstPanic.Load(); pe != nil {
 		panic(pe)
 	}
+	return int(completed.Load()), ctx.Err()
 }
 
 // call invokes fn(i), converting a panic into a *PanicError. With a

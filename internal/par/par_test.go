@@ -1,6 +1,8 @@
 package par
 
 import (
+	"context"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -94,5 +96,120 @@ func TestForPanicDrainsRemainingItems(t *testing.T) {
 	}()
 	if got := count.Load(); got != 63 {
 		t.Errorf("non-panicking items run = %d, want 63", got)
+	}
+}
+
+func TestForCtxCompletesAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 500
+		hits := make([]atomic.Int32, n)
+		done, err := ForCtx(context.Background(), n, workers, func(i int) { hits[i].Add(1) })
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if done != n {
+			t.Fatalf("workers=%d: done = %d, want %d", workers, done, n)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var count atomic.Int32
+		done, err := ForCtx(ctx, 100, workers, func(int) { count.Add(1) })
+		if err == nil {
+			t.Fatalf("workers=%d: err = nil, want context.Canceled", workers)
+		}
+		if done != int(count.Load()) {
+			t.Errorf("workers=%d: done = %d but fn ran %d times", workers, done, count.Load())
+		}
+		if count.Load() != 0 {
+			t.Errorf("workers=%d: fn ran %d times on a dead context", workers, count.Load())
+		}
+	}
+}
+
+func TestForCtxCancelMidRunReturnsPartialCount(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var count atomic.Int32
+	done, err := ForCtx(ctx, 1000, 4, func(i int) {
+		if count.Add(1) == 8 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("err = nil after mid-run cancel")
+	}
+	if done != int(count.Load()) {
+		t.Errorf("done = %d, fn completed %d items", done, count.Load())
+	}
+	if done == 0 || done >= 1000 {
+		t.Errorf("done = %d, want a partial count", done)
+	}
+}
+
+func TestForCtxSingleWorkerStopsBetweenItems(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	done, err := ForCtx(ctx, 100, 1, func(i int) {
+		ran++
+		if i == 9 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("err = nil")
+	}
+	if done != 10 || ran != 10 {
+		t.Errorf("done/ran = %d/%d, want 10/10 (cancel takes effect before the next item)", done, ran)
+	}
+}
+
+func TestWorkersClampsToGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	if got := Workers(0, 1000); got != 2 {
+		t.Errorf("Workers(0, 1000) = %d under GOMAXPROCS(2), want 2", got)
+	}
+	if got := Workers(-3, 1000); got != 2 {
+		t.Errorf("Workers(-3, 1000) = %d under GOMAXPROCS(2), want 2", got)
+	}
+	if got := Workers(0, 1); got != 1 {
+		t.Errorf("Workers(0, 1) = %d, want 1 (clamped to n)", got)
+	}
+	if got := Workers(7, 3); got != 3 {
+		t.Errorf("Workers(7, 3) = %d, want 3", got)
+	}
+	if got := Workers(5, 100); got != 5 {
+		t.Errorf("Workers(5, 100) = %d, want 5", got)
+	}
+}
+
+func TestForWorkersZeroBoundedConcurrency(t *testing.T) {
+	// workers <= 0 must clamp to GOMAXPROCS(0), not NumCPU: with
+	// GOMAXPROCS(2) no more than 2 items may ever be in flight.
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	var inFlight, peak atomic.Int32
+	For(200, 0, func(int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if got := peak.Load(); got > 2 {
+		t.Errorf("peak concurrency = %d under GOMAXPROCS(2), want <= 2", got)
 	}
 }

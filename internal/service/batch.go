@@ -8,18 +8,31 @@ import (
 
 // diagJob carries one diagnosis request from its HTTP handler to the
 // worker that executes it. The worker writes resp (or status+errMsg)
-// and closes done; the handler is the only other reader.
+// and calls finish; the handler is the only other reader.
 type diagJob struct {
 	ctx    context.Context
 	req    *DiagnoseRequest
 	resp   *DiagnoseResponse
 	status int // nonzero = failed, HTTP status to return
 	errMsg string
-	done   chan struct{}
+
+	finished atomic.Bool
+	done     chan struct{}
 }
 
 func (j *diagJob) fail(status int, msg string) {
 	j.status, j.errMsg = status, msg
+}
+
+// finish closes done exactly once. Both the normal completion path and
+// the panic-containment defer in runBatch call it, so a job that was
+// half-processed when a batch panicked still releases its handler —
+// double close is the one way a contained panic could turn into a new
+// panic, and the CAS forecloses it.
+func (j *diagJob) finish() {
+	if j.finished.CompareAndSwap(false, true) {
+		close(j.done)
+	}
 }
 
 // batcher coalesces concurrent diagnosis requests against the same

@@ -2,11 +2,16 @@ package service
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"hash/fnv"
+	"io/fs"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/rng"
 )
 
 // Entry is one resident dictionary: the compressed form, the input
@@ -23,22 +28,39 @@ type Entry struct {
 // cache deduplicates concurrent loads.
 type Loader func(id string) (*Entry, error)
 
+// Retry bounds for loader retries. The base doubles per attempt up to
+// the cap; the actual sleep is the deterministic half-jittered backoff
+// computed in backoffDelay.
+const (
+	retryBaseDelay = 10 * time.Millisecond
+	retryMaxDelay  = 250 * time.Millisecond
+)
+
 // Cache is a sharded, concurrency-safe LRU over compressed
 // dictionaries with byte-size accounting. Each shard holds its own
 // lock, recency list and byte budget (capacity / #shards), so hot
 // lookups on distinct dictionaries never contend. Loads go through a
 // singleflight gate per id: when N requests miss on the same cold
 // dictionary, one loader call runs and the other N−1 wait for it.
+// Failed loads are never cached — an error entry would poison every
+// later request for the id — and transient failures retry with capped
+// exponential backoff inside the singleflight, so a blip costs one
+// gate, not a thundering herd.
 type Cache struct {
 	loader   Loader
 	shards   []cacheShard
 	shardCap int64
+	// maxRetries is how many times one Get re-invokes a failing loader
+	// after its first attempt (0 = no retries). Not-found errors are
+	// terminal and never retried: absence is a stable answer.
+	maxRetries int
 
 	hits       atomic.Int64
 	misses     atomic.Int64
 	evictions  atomic.Int64
 	loads      atomic.Int64
 	loadErrors atomic.Int64
+	retries    atomic.Int64
 }
 
 type cacheShard struct {
@@ -77,6 +99,15 @@ func NewCache(loader Loader, capBytes int64, shards int) *Cache {
 	return c
 }
 
+// SetLoadRetries sets how many times a failing load is retried within
+// one Get (see maxRetries). Call before the cache starts serving.
+func (c *Cache) SetLoadRetries(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.maxRetries = n
+}
+
 func (c *Cache) shardOf(id string) *cacheShard {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(id))
@@ -87,6 +118,16 @@ func (c *Cache) shardOf(id string) *cacheShard {
 // misses on the same id share one loader call. The returned entry
 // stays valid even if the cache evicts it later.
 func (c *Cache) Get(id string) (*Entry, error) {
+	return c.GetCtx(context.Background(), id)
+}
+
+// GetCtx is Get with cooperative cancellation: a waiter piggybacking
+// on another request's in-flight load stops waiting when ctx is done
+// (the load itself keeps running for whoever else wants it), and the
+// retry loop of a load this call owns checks ctx before every sleep
+// and attempt. The initiating caller's ctx governs the shared load —
+// if it dies mid-load, waiters receive the load's error.
+func (c *Cache) GetCtx(ctx context.Context, id string) (*Entry, error) {
 	sh := c.shardOf(id)
 	sh.mu.Lock()
 	if el, ok := sh.byID[id]; ok {
@@ -98,20 +139,20 @@ func (c *Cache) Get(id string) (*Entry, error) {
 	if call, ok := sh.inflight[id]; ok {
 		sh.mu.Unlock()
 		c.misses.Add(1)
-		<-call.done
-		return call.ent, call.err
+		select {
+		case <-call.done:
+			return call.ent, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	call := &loadCall{done: make(chan struct{})}
 	sh.inflight[id] = call
 	sh.mu.Unlock()
 	c.misses.Add(1)
-	c.loads.Add(1)
 
-	ent, err := c.loader(id)
+	ent, err := c.load(ctx, id)
 	call.ent, call.err = ent, err
-	if err != nil {
-		c.loadErrors.Add(1)
-	}
 
 	sh.mu.Lock()
 	delete(sh.inflight, id)
@@ -135,6 +176,58 @@ func (c *Cache) Get(id string) (*Entry, error) {
 	return ent, err
 }
 
+// load runs the loader with up to maxRetries retries behind the
+// singleflight gate. Every attempt counts one load (and one loadError
+// on failure) so the counters tell the true disk-traffic story, and
+// the retries counter feeds ddd_retries_total.
+func (c *Cache) load(ctx context.Context, id string) (*Entry, error) {
+	var ent *Entry
+	var err error
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		c.loads.Add(1)
+		ent, err = c.loader(id)
+		if err == nil {
+			return ent, nil
+		}
+		c.loadErrors.Add(1)
+		if attempt >= c.maxRetries || !retryable(err) {
+			return nil, err
+		}
+		c.retries.Add(1)
+		select {
+		case <-time.After(backoffDelay(id, attempt)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// retryable reports whether a loader failure is worth retrying. A
+// missing file is a stable answer; everything else (I/O error, torn
+// read, injected fault) is treated as transient.
+func retryable(err error) bool {
+	return !errors.Is(err, fs.ErrNotExist)
+}
+
+// backoffDelay computes attempt's sleep: capped exponential growth
+// from retryBaseDelay with deterministic half-jitter — the jitter is
+// derived from (id, attempt) with the repo's splittable seeding, so a
+// replayed failure schedule sleeps identically while distinct ids
+// still decorrelate (no thundering herd when many ids fail at once).
+func backoffDelay(id string, attempt int) time.Duration {
+	d := retryBaseDelay << uint(attempt)
+	if d > retryMaxDelay || d <= 0 {
+		d = retryMaxDelay
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	frac := float64(rng.Derive(h.Sum64(), uint64(attempt))%1024) / 1024
+	return d/2 + time.Duration(float64(d/2)*frac)
+}
+
 // Contains reports whether id is resident without promoting it.
 func (c *Cache) Contains(id string) bool {
 	sh := c.shardOf(id)
@@ -150,6 +243,7 @@ type CacheStats struct {
 	Misses     int64 `json:"misses"`
 	Loads      int64 `json:"loads"`
 	LoadErrors int64 `json:"load_errors"`
+	Retries    int64 `json:"retries"`
 	Evictions  int64 `json:"evictions"`
 	Entries    int   `json:"entries"`
 	Bytes      int64 `json:"bytes"`
@@ -164,6 +258,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:     c.misses.Load(),
 		Loads:      c.loads.Load(),
 		LoadErrors: c.loadErrors.Load(),
+		Retries:    c.retries.Load(),
 		Evictions:  c.evictions.Load(),
 		Capacity:   c.shardCap * int64(len(c.shards)),
 		Shards:     len(c.shards),

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -123,6 +125,120 @@ func TestCacheLoadErrors(t *testing.T) {
 	// Errors are not cached: each Get retries the loader.
 	if st.Loads != 2 || st.LoadErrors != 2 || st.Entries != 0 {
 		t.Errorf("loads/errors/entries = %d/%d/%d, want 2/2/0", st.Loads, st.LoadErrors, st.Entries)
+	}
+}
+
+// TestCacheLoadFailureThenSuccessNotPoisoned: a loader that fails
+// once must not poison the id — the next Get re-runs the loader, the
+// entry becomes resident, and later Gets are hits.
+func TestCacheLoadFailureThenSuccessNotPoisoned(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	c := NewCache(func(id string) (*Entry, error) {
+		if calls.Add(1) == 1 {
+			return nil, boom
+		}
+		return fakeEntry(id, 10), nil
+	}, 1<<20, 2)
+
+	if _, err := c.Get("x"); !errors.Is(err, boom) {
+		t.Fatalf("first err = %v, want boom", err)
+	}
+	if c.Contains("x") {
+		t.Fatal("failed load left an entry resident")
+	}
+	if _, err := c.Get("x"); err != nil {
+		t.Fatalf("second Get after transient failure: %v", err)
+	}
+	if !c.Contains("x") {
+		t.Fatal("successful reload not resident")
+	}
+	if _, err := c.Get("x"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Loads != 2 || st.LoadErrors != 1 || st.Hits != 1 {
+		t.Errorf("loads/errors/hits = %d/%d/%d, want 2/1/1", st.Loads, st.LoadErrors, st.Hits)
+	}
+}
+
+// TestCacheRetriesRecoverWithinOneGet: with retries configured, a
+// loader that fails transiently succeeds inside a single Get, and the
+// retries counter records the backoff attempts.
+func TestCacheRetriesRecoverWithinOneGet(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCache(func(id string) (*Entry, error) {
+		if calls.Add(1) <= 2 {
+			return nil, errors.New("transient")
+		}
+		return fakeEntry(id, 10), nil
+	}, 1<<20, 2)
+	c.SetLoadRetries(3)
+
+	if _, err := c.Get("x"); err != nil {
+		t.Fatalf("Get with retries = %v, want success on third attempt", err)
+	}
+	st := c.Stats()
+	if st.Loads != 3 || st.LoadErrors != 2 || st.Retries != 2 {
+		t.Errorf("loads/errors/retries = %d/%d/%d, want 3/2/2", st.Loads, st.LoadErrors, st.Retries)
+	}
+	if !c.Contains("x") {
+		t.Error("recovered entry not resident")
+	}
+}
+
+// TestCacheRetrySkipsNotFound: absence is a stable answer — a
+// not-found load returns immediately no matter the retry budget.
+func TestCacheRetrySkipsNotFound(t *testing.T) {
+	var calls atomic.Int64
+	c := NewCache(func(id string) (*Entry, error) {
+		calls.Add(1)
+		return nil, fmt.Errorf("dictionary %q not found: %w", id, fs.ErrNotExist)
+	}, 1<<20, 2)
+	c.SetLoadRetries(5)
+
+	if _, err := c.Get("gone"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("loader called %d times for not-found, want 1", n)
+	}
+	if st := c.Stats(); st.Retries != 0 {
+		t.Errorf("retries = %d, want 0", st.Retries)
+	}
+}
+
+// TestCacheGetCtxWaiterUnblocksOnCancel: a waiter parked on another
+// request's in-flight load must return its own ctx error when
+// cancelled, while the load itself completes for the initiator.
+func TestCacheGetCtxWaiterUnblocksOnCancel(t *testing.T) {
+	gate := make(chan struct{})
+	loading := make(chan struct{})
+	c := NewCache(func(id string) (*Entry, error) {
+		close(loading)
+		<-gate
+		return fakeEntry(id, 10), nil
+	}, 1<<20, 1)
+
+	initiatorDone := make(chan error, 1)
+	go func() {
+		_, err := c.Get("shared")
+		initiatorDone <- err
+	}()
+	<-loading // the load is in flight
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.GetCtx(ctx, "shared"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+
+	close(gate)
+	if err := <-initiatorDone; err != nil {
+		t.Fatalf("initiator err = %v; the waiter's cancel must not kill the load", err)
+	}
+	if !c.Contains("shared") {
+		t.Error("completed load not resident after a waiter cancelled")
 	}
 }
 

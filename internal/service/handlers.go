@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 )
@@ -211,8 +212,10 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // header's integer granularity allows.
 const retryAfterSeconds = 1
 
-// writeRetryable emits a load-shed error (429 backpressure, 503
-// drain) with a Retry-After header and a machine-readable body.
+// writeRetryable emits a load-shed or deadline error (429
+// backpressure, 503 drain, 504 deadline) with a Retry-After header
+// and a machine-readable body — the same contract for every response
+// a client should react to by backing off and retrying.
 func writeRetryable(w http.ResponseWriter, status int, code, msg string) {
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 	writeJSON(w, status, errorBody{Error: msg, Code: code, RetrySeconds: retryAfterSeconds})
@@ -233,8 +236,22 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dictionary id %q", req.Dict))
 		return
 	}
+	// The context carries both the deadline and the client disconnect
+	// (r.Context dies when the peer goes away): either way the select
+	// below stops waiting, the 504/cancellation is recorded, and the
+	// worker skips the job the moment it notices j.ctx is dead.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	if faultSlowHandler.Hit() {
+		// The injected delay burns the request's own deadline; a delay
+		// past the deadline answers 504 before ever enqueueing.
+		time.Sleep(time.Duration(faultSlowHandler.Param(100)) * time.Millisecond)
+		if ctx.Err() != nil {
+			s.cancellations.Add(1)
+			writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded")
+			return
+		}
+	}
 
 	job := &diagJob{ctx: ctx, req: &req, done: make(chan struct{})}
 	if err := s.batch.enqueue(req.Dict, job); err != nil {
@@ -254,8 +271,144 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, job.resp)
 	case <-ctx.Done():
-		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		s.cancellations.Add(1)
+		writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded")
 	}
+}
+
+// maxBatchItems bounds one degraded-batch request; the body size cap
+// already bounds bytes, this bounds per-item bookkeeping.
+const maxBatchItems = 256
+
+// BatchRequest is the body of POST /v1/diagnose/batch: independent
+// diagnosis requests answered in one round trip with per-item status.
+type BatchRequest struct {
+	Requests []DiagnoseRequest `json:"requests"`
+}
+
+// BatchItem is one request's outcome inside a batch response: either
+// Response (Status 200) or an error triple. Failed items never fail
+// the batch — that is the degraded-mode contract.
+type BatchItem struct {
+	Index    int               `json:"index"`
+	Status   int               `json:"status"`
+	Error    string            `json:"error,omitempty"`
+	Code     string            `json:"code,omitempty"`
+	Response *DiagnoseResponse `json:"response,omitempty"`
+}
+
+// BatchResponse is the answer to a degraded batch: one item per
+// request, in request order, plus the failure count. For a fixed
+// request and fault configuration the document is byte-deterministic:
+// items are processed in index order and carry no timing.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+	Failed  int         `json:"failed"`
+}
+
+// handleDiagnoseBatch implements POST /v1/diagnose/batch: degraded
+// diagnosis over many requests. A dictionary that fails to load fails
+// only the items that reference it (skip-and-report); the rest of the
+// batch still answers. The whole batch runs as one pool job, so batch
+// traffic competes for worker slots on the same terms as single
+// requests.
+func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
+	var breq BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(breq.Requests) > maxBatchItems {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch has %d items, limit is %d", len(breq.Requests), maxBatchItems))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if faultSlowHandler.Hit() {
+		time.Sleep(time.Duration(faultSlowHandler.Param(100)) * time.Millisecond)
+		if ctx.Err() != nil {
+			s.cancellations.Add(1)
+			writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded")
+			return
+		}
+	}
+
+	// Buffered so the worker never blocks publishing a result the
+	// handler stopped waiting for.
+	done := make(chan *BatchResponse, 1)
+	err := s.pool.Submit(func() { done <- s.runDegradedBatch(ctx, breq.Requests) })
+	if err != nil {
+		switch err {
+		case ErrPoolDraining:
+			writeRetryable(w, http.StatusServiceUnavailable, "draining", "server shutting down")
+		default:
+			writeRetryable(w, http.StatusTooManyRequests, "busy", "server busy, retry later")
+		}
+		return
+	}
+	select {
+	case resp := <-done:
+		writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		s.cancellations.Add(1)
+		writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded")
+	}
+}
+
+// runDegradedBatch executes a batch on a pool worker: items in index
+// order, one cache get per distinct dictionary, and a per-batch memo
+// of failed dictionaries so a broken id is reported (not retried) on
+// every later item that names it.
+func (s *Server) runDegradedBatch(ctx context.Context, reqs []DiagnoseRequest) *BatchResponse {
+	resp := &BatchResponse{Results: make([]BatchItem, len(reqs))}
+	ents := make(map[string]*Entry)
+	loadErrs := make(map[string]error)
+	for i := range reqs {
+		req := &reqs[i]
+		item := &resp.Results[i]
+		item.Index = i
+		if ctx.Err() != nil {
+			item.Status, item.Code, item.Error = http.StatusGatewayTimeout, "deadline", "request deadline exceeded"
+			resp.Failed++
+			continue
+		}
+		if !validID(req.Dict) {
+			item.Status, item.Error = http.StatusBadRequest, fmt.Sprintf("invalid dictionary id %q", req.Dict)
+			resp.Failed++
+			continue
+		}
+		ent, ok := ents[req.Dict]
+		if !ok {
+			if lerr, failed := loadErrs[req.Dict]; failed {
+				item.Status, item.Code, item.Error = loadErrStatus(lerr), "load_failed", lerr.Error()
+				resp.Failed++
+				continue
+			}
+			var err error
+			ent, err = s.cache.GetCtx(ctx, req.Dict)
+			if err != nil {
+				loadErrs[req.Dict] = err
+				item.Status, item.Code, item.Error = loadErrStatus(err), "load_failed", err.Error()
+				resp.Failed++
+				continue
+			}
+			ents[req.Dict] = ent
+		}
+		r2, status, msg := diagnoseOne(ent, req)
+		if status != 0 {
+			item.Status, item.Error = status, msg
+			resp.Failed++
+			continue
+		}
+		item.Status, item.Response = http.StatusOK, r2
+	}
+	return resp
 }
 
 // handleDicts implements GET /v1/dicts: the dictionary files on disk,

@@ -58,6 +58,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.CounterFunc("ddd_cache_load_errors_total",
 		"failed dictionary loads", nil,
 		func() float64 { return float64(cache.loadErrors.Load()) })
+	reg.CounterFunc("ddd_retries_total",
+		"dictionary load retries (capped exponential backoff)", nil,
+		func() float64 { return float64(cache.retries.Load()) })
 	reg.GaugeFunc("ddd_cache_entries",
 		"resident dictionaries", nil,
 		func() float64 { return float64(cache.Stats().Entries) })
@@ -78,6 +81,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.CounterFunc("ddd_pool_completed_total",
 		"jobs completed by the worker pool", nil,
 		func() float64 { return float64(pool.completed.Load()) })
+	reg.CounterFunc("ddd_pool_panics_total",
+		"panics recovered by pool workers", nil,
+		func() float64 { return float64(pool.panics.Load()) })
 	reg.GaugeFunc("ddd_pool_queue_depth",
 		"jobs waiting in the worker queue", nil,
 		func() float64 { return float64(len(pool.jobs)) })
@@ -92,6 +98,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.CounterFunc("ddd_batch_requests_total",
 		"requests carried by batches", nil,
 		func() float64 { return float64(batch.batched.Load()) })
+
+	reg.CounterFunc("ddd_cancellations_total",
+		"requests abandoned at their deadline or by client disconnect", nil,
+		func() float64 { return float64(s.cancellations.Load()) })
 
 	reg.GaugeFunc("ddd_server_ready",
 		"1 when the preload list is warm and the server answers readyz 200", nil,

@@ -29,6 +29,7 @@ type Pool struct {
 	submitted atomic.Int64
 	rejected  atomic.Int64
 	completed atomic.Int64
+	panics    atomic.Int64
 }
 
 // NewPool starts workers goroutines over a queue of the given depth.
@@ -45,12 +46,28 @@ func NewPool(workers, queueDepth int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for f := range p.jobs {
-				f()
+				p.runJob(f)
 				p.completed.Add(1)
 			}
 		}()
 	}
 	return p
+}
+
+// runJob executes one job with panic containment: a panicking job
+// counts against the panics counter and kills only itself, never its
+// worker goroutine — the pool keeps its full worker count and keeps
+// draining under injected or real panics. The job itself is
+// responsible for leaving its callers unwedged (see runBatch's
+// fail-unfinished defer); the pool only guarantees the worker
+// survives.
+func (p *Pool) runJob(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	f()
 }
 
 // Submit enqueues f without blocking. It fails with ErrPoolBusy when
@@ -89,6 +106,7 @@ type PoolStats struct {
 	Submitted  int64 `json:"submitted"`
 	Rejected   int64 `json:"rejected"`
 	Completed  int64 `json:"completed"`
+	Panics     int64 `json:"panics"`
 	QueueDepth int   `json:"queue_depth"`
 	QueueCap   int   `json:"queue_cap"`
 }
@@ -99,6 +117,7 @@ func (p *Pool) Stats() PoolStats {
 		Submitted:  p.submitted.Load(),
 		Rejected:   p.rejected.Load(),
 		Completed:  p.completed.Load(),
+		Panics:     p.panics.Load(),
 		QueueDepth: len(p.jobs),
 		QueueCap:   cap(p.jobs),
 	}

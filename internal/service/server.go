@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net"
 	"net/http"
@@ -40,8 +41,36 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/par"
 )
+
+// Fault injection sites (internal/fault). Disarmed they cost one
+// atomic load each; armed via ddd-serve -faults / DDD_FAULTS they
+// exercise the failure paths the chaos suite asserts on:
+//
+//   - cache-load-error: the cache loader fails before touching disk
+//     (param unused) — drives the singleflight error path and retries;
+//   - cache-load-stall: the loader sleeps param milliseconds
+//     (default 100) before loading — widens the singleflight window;
+//   - dict-corrupt: the dictionary bytes are corrupted in flight, so
+//     the strict decoder fails — a torn-read stand-in;
+//   - worker-panic: a batch worker panics mid-diagnosis — drives the
+//     pool's panic containment;
+//   - slow-handler: the diagnose handlers sleep param milliseconds
+//     (default 100) before enqueueing — drives deadline expiry.
+var (
+	faultCacheLoadError = fault.Register("cache-load-error")
+	faultCacheLoadStall = fault.Register("cache-load-stall")
+	faultDictCorrupt    = fault.Register("dict-corrupt")
+	faultWorkerPanic    = fault.Register("worker-panic")
+	faultSlowHandler    = fault.Register("slow-handler")
+)
+
+// errInjectedLoad marks a cache-load-error injection. It is not
+// fs.ErrNotExist, so the cache treats it as transient and retries it
+// like a real I/O blip.
+var errInjectedLoad = errors.New("injected fault: cache-load-error")
 
 // Config parameterizes a Server.
 type Config struct {
@@ -59,8 +88,16 @@ type Config struct {
 	// BatchWorkers bounds the par.For fan-out inside one batch
 	// (default min(4, NumCPU)).
 	BatchWorkers int
-	// RequestTimeout is the per-request deadline (default 10s).
+	// RequestTimeout is the per-request deadline (default 10s). It
+	// covers queueing plus execution: when it expires the handler
+	// answers 504 with code "deadline" and the worker skips the job the
+	// moment it notices, freeing the slot for live requests.
 	RequestTimeout time.Duration
+	// LoadRetries is how many times a failing dictionary load is
+	// retried (with capped exponential backoff) inside one cache get
+	// before the error is returned. Not-found is never retried.
+	// Default 0: retries are opt-in via ddd-serve -load-retries.
+	LoadRetries int
 	// Preload lists dictionary ids to load before the server reports
 	// ready.
 	Preload []string
@@ -101,6 +138,11 @@ type Server struct {
 	endpoints map[string]*epStats
 	metrics   *serverMetrics
 	ready     atomic.Bool
+	// cancellations counts requests abandoned at their deadline or by
+	// client disconnect — the handler answered 504 (or the worker
+	// skipped the job) and the slot went back to live traffic. Feeds
+	// ddd_cancellations_total.
+	cancellations atomic.Int64
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -119,19 +161,22 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg}
 	s.cache = NewCache(s.loadFromDisk, cfg.CacheBytes, cfg.CacheShards)
+	s.cache.SetLoadRetries(cfg.LoadRetries)
 	s.pool = NewPool(cfg.Workers, cfg.QueueDepth)
 	s.batch = newBatcher(s.pool, s.runBatch)
 	s.endpoints = map[string]*epStats{
-		"/v1/diagnose":   {},
-		"/v1/dicts":      {},
-		"/v1/dicts/{id}": {},
-		"/healthz":       {},
-		"/readyz":        {},
-		"/stats":         {},
+		"/v1/diagnose":       {},
+		"/v1/diagnose/batch": {},
+		"/v1/dicts":          {},
+		"/v1/dicts/{id}":     {},
+		"/healthz":           {},
+		"/readyz":            {},
+		"/stats":             {},
 	}
 	s.metrics = newServerMetrics(s)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/diagnose", s.instrument("/v1/diagnose", s.handleDiagnose))
+	mux.HandleFunc("POST /v1/diagnose/batch", s.instrument("/v1/diagnose/batch", s.handleDiagnoseBatch))
 	mux.HandleFunc("GET /v1/dicts", s.instrument("/v1/dicts", s.handleDicts))
 	mux.HandleFunc("GET /v1/dicts/{id}", s.instrument("/v1/dicts/{id}", s.handleDictInfo))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -158,6 +203,12 @@ func New(cfg Config) (*Server, error) {
 // accounts the sparse entries plus the pattern/suspect overhead so the
 // cache budget tracks real residency.
 func (s *Server) loadFromDisk(id string) (*Entry, error) {
+	if faultCacheLoadStall.Hit() {
+		time.Sleep(time.Duration(faultCacheLoadStall.Param(100)) * time.Millisecond)
+	}
+	if faultCacheLoadError.Hit() {
+		return nil, fmt.Errorf("dictionary %q: %w", id, errInjectedLoad)
+	}
 	f, err := os.Open(filepath.Join(s.cfg.Dir, id+".dict"))
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -167,7 +218,11 @@ func (s *Server) loadFromDisk(id string) (*Entry, error) {
 		return nil, fmt.Errorf("dictionary %q: %w", id, err)
 	}
 	defer f.Close()
-	cd, nIn, err := core.LoadCompressed(f)
+	var src io.Reader = f
+	if faultDictCorrupt.Hit() {
+		src = fault.NewCorruptingReader(f)
+	}
+	cd, nIn, err := core.LoadCompressed(src)
 	if err != nil {
 		return nil, fmt.Errorf("dictionary %q: %w", id, err)
 	}
@@ -180,28 +235,78 @@ func (s *Server) loadFromDisk(id string) (*Entry, error) {
 // runBatch executes one same-dictionary batch on a pool worker: one
 // cache lookup, then the batch fans out over par.For with each request
 // writing only its own job (index-disjoint slots).
+//
+// Failure containment: a panic anywhere in the batch (including the
+// worker-panic injection site) first fails-and-finishes every job that
+// has not answered yet — no handler is ever left waiting on a dead
+// batch — then re-panics so the pool worker's recover counts it. The
+// cache load runs under a context that dies when every requester in
+// the batch has given up, so an abandoned batch stops burning its
+// worker slot on a load nobody will read.
 func (s *Server) runBatch(id string, jobs []*diagJob) {
-	ent, err := s.cache.Get(id)
+	defer func() {
+		if r := recover(); r != nil {
+			for _, j := range jobs {
+				if !j.finished.Load() {
+					j.fail(http.StatusInternalServerError, "internal worker failure")
+					j.finish()
+				}
+			}
+			panic(r)
+		}
+	}()
+	ctx, cancel := batchContext(jobs)
+	defer cancel()
+	ent, err := s.cache.GetCtx(ctx, id)
 	if err != nil {
 		status, msg := loadErrStatus(err), err.Error()
+		if ctx.Err() != nil {
+			// Every requester is gone; the statuses are written only so
+			// the jobs carry a consistent terminal state. The handlers
+			// count the cancellations — each observed its own deadline.
+			status, msg = http.StatusGatewayTimeout, "request deadline exceeded"
+		}
 		for _, j := range jobs {
 			j.fail(status, msg)
-			close(j.done)
+			j.finish()
 		}
 		return
 	}
 	par.For(len(jobs), s.cfg.BatchWorkers, func(i int) {
 		j := jobs[i]
 		if j.ctx.Err() != nil {
-			// The requester already timed out; skip the compute.
+			// The requester already timed out; skip the compute and
+			// give the slot back to live traffic. The handler counted
+			// the cancellation when it answered 504.
 			j.fail(http.StatusGatewayTimeout, "request deadline exceeded")
+		} else if faultWorkerPanic.Hit() {
+			panic(fmt.Sprintf("injected fault: worker-panic (dict %s)", id))
 		} else if resp, status, msg := diagnoseOne(ent, j.req); status != 0 {
 			j.fail(status, msg)
 		} else {
 			j.resp = resp
 		}
-		close(j.done)
+		j.finish()
 	})
+}
+
+// batchContext returns a context that is cancelled once every job's
+// request context is done — the batch-wide "anybody still listening?"
+// signal guarding the shared cache load. The watcher goroutine drains
+// as soon as all requesters cancel (every handler defers its cancel),
+// so it cannot leak past the requests it watches.
+func batchContext(jobs []*diagJob) (context.Context, context.CancelFunc) {
+	if len(jobs) == 1 {
+		return jobs[0].ctx, func() {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for _, j := range jobs {
+			<-j.ctx.Done()
+		}
+		cancel()
+	}()
+	return ctx, cancel
 }
 
 // Warmup loads every preload dictionary and marks the server ready.
@@ -225,15 +330,42 @@ func (s *Server) Warmup(ctx context.Context) error {
 // Handler returns the service's HTTP handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Transport-level protections for the listener: a slow or stalled
+// client must never hold a connection (and its handler goroutine)
+// open indefinitely. Write/idle deadlines scale off the request
+// timeout in Start; these are the floors.
+const (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = 30 * time.Second
+	minWriteTimeout   = 60 * time.Second
+	idleTimeout       = 120 * time.Second
+)
+
 // Start listens on addr (e.g. "127.0.0.1:0") and serves in the
 // background; use Addr for the bound address and Shutdown to stop.
+// The http.Server carries the full timeout set — header read, body
+// read, response write, keep-alive idle — so a stalled client is a
+// closed connection, not a leaked goroutine (slowloris protection).
 func (s *Server) Start(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	// The write deadline must outlive the request deadline, or the
+	// server would cut off a response the worker legitimately spent
+	// RequestTimeout computing.
+	writeTimeout := 2 * s.cfg.RequestTimeout
+	if writeTimeout < minWriteTimeout {
+		writeTimeout = minWriteTimeout
+	}
 	s.ln = ln
-	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	go func() { _ = s.httpSrv.Serve(ln) }()
 	return nil
 }

@@ -54,11 +54,14 @@ func (e *epStats) snapshot() EndpointStats {
 // counters in one plain-JSON snapshot (map keys marshal sorted, so the
 // document layout is stable scrape to scrape).
 type Stats struct {
-	Ready     bool                     `json:"ready"`
-	Cache     CacheStats               `json:"cache"`
-	Pool      PoolStats                `json:"pool"`
-	Batch     BatchStats               `json:"batch"`
-	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Ready bool       `json:"ready"`
+	Cache CacheStats `json:"cache"`
+	Pool  PoolStats  `json:"pool"`
+	Batch BatchStats `json:"batch"`
+	// Cancellations counts requests abandoned at their deadline or by
+	// client disconnect (mirrors ddd_cancellations_total).
+	Cancellations int64                    `json:"cancellations"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
 // Stats snapshots every counter surface of the server.
@@ -68,11 +71,12 @@ func (s *Server) Stats() Stats {
 		eps[name] = ep.snapshot()
 	}
 	return Stats{
-		Ready:     s.ready.Load(),
-		Cache:     s.cache.Stats(),
-		Pool:      s.pool.Stats(),
-		Batch:     s.batch.Stats(),
-		Endpoints: eps,
+		Ready:         s.ready.Load(),
+		Cache:         s.cache.Stats(),
+		Pool:          s.pool.Stats(),
+		Batch:         s.batch.Stats(),
+		Cancellations: s.cancellations.Load(),
+		Endpoints:     eps,
 	}
 }
 

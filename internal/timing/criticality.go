@@ -1,12 +1,13 @@
 package timing
 
 import (
-	"runtime"
+	"context"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/par"
 )
 
 // Statistical criticality (the quantity behind the paper's companion
@@ -21,29 +22,43 @@ type Criticality struct {
 	Prob []float64 // indexed by ArcID
 }
 
+// critCtxStride is how many samples a MonteCarloCriticalityCtx worker
+// runs between cancellation checks: frequent enough that a cancel
+// lands within ~1k samples of work per worker, rare enough that the
+// atomic load never shows up next to a full timing walk.
+const critCtxStride = 1024
+
 // MonteCarloCriticality samples nSamples instances; on each, it
 // computes arrival times, walks the critical path backward from the
 // latest output, and counts each traversed arc. Workers bound the
-// parallelism (0 = NumCPU).
+// parallelism (0 = GOMAXPROCS, see par.Workers).
 //
 // nSamples <= 0 returns the zero-value Criticality (every probability
 // zero): no samples means no evidence, and an estimate over an empty
 // sample set is the empty estimate, never a division by zero.
 func (m *Model) MonteCarloCriticality(nSamples int, seed uint64, workers int) *Criticality {
+	cr, _ := m.MonteCarloCriticalityCtx(context.Background(), nSamples, seed, workers)
+	return cr
+}
+
+// MonteCarloCriticalityCtx is MonteCarloCriticality with cooperative
+// cancellation: each worker checks ctx every critCtxStride samples and
+// stops early when it is done. A cancelled run returns (nil, ctx.Err())
+// — a partial criticality estimate would be silently biased toward the
+// samples that happened to finish, so none is returned.
+func (m *Model) MonteCarloCriticalityCtx(ctx context.Context, nSamples int, seed uint64, workers int) (*Criticality, error) {
 	if nSamples <= 0 {
-		return &Criticality{Prob: make([]float64, len(m.C.Arcs))}
+		return &Criticality{Prob: make([]float64, len(m.C.Arcs))}, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	defer func() {
 		critSeconds.Add(time.Since(start).Seconds())
 	}()
 	critSamples.Add(float64(nSamples))
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > nSamples {
-		workers = nSamples
-	}
+	workers = par.Workers(workers, nSamples)
 	counts := make([][]int32, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -52,7 +67,12 @@ func (m *Model) MonteCarloCriticality(nSamples int, seed uint64, workers int) *C
 			defer wg.Done()
 			cnt := make([]int32, len(m.C.Arcs))
 			counts[w] = cnt
+			done := 0
 			for s := w; s < nSamples; s += workers {
+				if done%critCtxStride == 0 && ctx.Err() != nil {
+					return
+				}
+				done++
 				inst := m.SampleInstanceSeeded(seed, uint64(s))
 				arr := m.ArrivalTimes(inst)
 				// Latest output; deterministic tie-break on gate ID.
@@ -82,6 +102,9 @@ func (m *Model) MonteCarloCriticality(nSamples int, seed uint64, workers int) *C
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cr := &Criticality{Prob: make([]float64, len(m.C.Arcs))}
 	inv := 1.0 / float64(nSamples)
 	for _, cnt := range counts {
@@ -89,7 +112,7 @@ func (m *Model) MonteCarloCriticality(nSamples int, seed uint64, workers int) *C
 			cr.Prob[i] += float64(v) * inv
 		}
 	}
-	return cr
+	return cr, nil
 }
 
 // Top returns the k most critical arcs, most probable first (ties by

@@ -1,0 +1,85 @@
+package timing
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func ctxTestModel(t *testing.T) *Model {
+	t.Helper()
+	c, err := synth.GenerateNamed("small", 2003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewModel(c, DefaultParams())
+}
+
+func TestMonteCarloSTACtxMatchesPlain(t *testing.T) {
+	m := ctxTestModel(t)
+	plain := m.MonteCarloSTA(64, 7, 2)
+	viaCtx, err := m.MonteCarloSTACtx(context.Background(), 64, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := viaCtx.CircuitDelay.Quantile(0.5), plain.CircuitDelay.Quantile(0.5); got != want { //lint:ignore floateq same seed and sample count must reproduce bit-identical empirical distributions
+		t.Errorf("ctx variant diverged: median %v vs %v", got, want)
+	}
+}
+
+func TestMonteCarloSTACtxCancelled(t *testing.T) {
+	m := ctxTestModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := m.MonteCarloSTACtx(ctx, 512, 7, 2)
+	if err == nil {
+		t.Fatal("err = nil on a dead context")
+	}
+	if res != nil {
+		t.Error("cancelled run returned a partial STAResult")
+	}
+}
+
+func TestMonteCarloCriticalityCtxMatchesPlain(t *testing.T) {
+	m := ctxTestModel(t)
+	plain := m.MonteCarloCriticality(64, 11, 2)
+	viaCtx, err := m.MonteCarloCriticalityCtx(context.Background(), 64, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Prob {
+		if plain.Prob[i] != viaCtx.Prob[i] { //lint:ignore floateq same seed and sample count must reproduce bit-identical probabilities
+			t.Fatalf("ctx variant diverged at arc %d: %v vs %v", i, viaCtx.Prob[i], plain.Prob[i])
+		}
+	}
+}
+
+func TestMonteCarloCriticalityCtxCancelled(t *testing.T) {
+	m := ctxTestModel(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cr, err := m.MonteCarloCriticalityCtx(ctx, 4096, 11, 2)
+	if err == nil {
+		t.Fatal("err = nil on a dead context")
+	}
+	if cr != nil {
+		t.Error("cancelled run returned a partial Criticality")
+	}
+}
+
+func TestMonteCarloCriticalityCtxZeroSamples(t *testing.T) {
+	m := ctxTestModel(t)
+	cr, err := m.MonteCarloCriticalityCtx(context.Background(), 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr == nil || len(cr.Prob) != len(m.C.Arcs) {
+		t.Fatal("zero-sample call must return the zero-value Criticality")
+	}
+	for i, p := range cr.Prob {
+		if p != 0 {
+			t.Fatalf("Prob[%d] = %v, want 0", i, p)
+		}
+	}
+}

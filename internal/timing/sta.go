@@ -1,6 +1,7 @@
 package timing
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -52,8 +53,19 @@ func (r *STAResult) CriticalProb(clk float64) float64 {
 // MonteCarloSTA estimates the output arrival distributions by sampling
 // nSamples circuit instances (deterministically derived from seed) and
 // running static timing on each, fanning out across workers goroutines
-// (0 = NumCPU).
+// (0 = GOMAXPROCS, see par.Workers).
 func (m *Model) MonteCarloSTA(nSamples int, seed uint64, workers int) *STAResult {
+	res, _ := m.MonteCarloSTACtx(context.Background(), nSamples, seed, workers)
+	return res
+}
+
+// MonteCarloSTACtx is MonteCarloSTA with cooperative cancellation:
+// workers stop claiming samples once ctx is done (par.ForCtx checks
+// between items, so a cancel lands within one static timing pass per
+// worker). A cancelled run returns (nil, ctx.Err()) — the partially
+// filled per-output arrays would bias every quantile toward whichever
+// samples completed, so no partial distribution is built.
+func (m *Model) MonteCarloSTACtx(ctx context.Context, nSamples int, seed uint64, workers int) (*STAResult, error) {
 	start := time.Now()
 	defer func() {
 		staSeconds.Add(time.Since(start).Seconds())
@@ -67,7 +79,7 @@ func (m *Model) MonteCarloSTA(nSamples int, seed uint64, workers int) *STAResult
 		perOut[i] = make([]float64, nSamples)
 	}
 	delays := make([]float64, nSamples)
-	par.For(nSamples, workers, func(s int) {
+	if _, err := par.ForCtx(ctx, nSamples, workers, func(s int) {
 		in := m.SampleInstanceSeeded(seed, uint64(s))
 		arr := m.ArrivalTimes(in)
 		worst := 0.0
@@ -79,7 +91,9 @@ func (m *Model) MonteCarloSTA(nSamples int, seed uint64, workers int) *STAResult
 			}
 		}
 		delays[s] = worst
-	})
+	}); err != nil {
+		return nil, err
+	}
 	res := &STAResult{
 		Arrivals:     make([]*dist.Empirical, nOut),
 		CircuitDelay: dist.NewEmpirical(delays),
@@ -87,7 +101,7 @@ func (m *Model) MonteCarloSTA(nSamples int, seed uint64, workers int) *STAResult
 	for i := range perOut {
 		res.Arrivals[i] = dist.NewEmpirical(perOut[i])
 	}
-	return res
+	return res, nil
 }
 
 // ClarkSTA propagates normal approximations through the circuit using
