@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-obs ci test race bench bench-serve smoke-serve smoke-resume chaos fuzz table1 figures ablate clean
+.PHONY: all build vet lint lint-obs ci test race bench bench-core bench-serve smoke-serve smoke-resume chaos fuzz table1 figures ablate clean
 
 all: build vet lint test
 
@@ -26,9 +26,12 @@ lint-obs:
 
 # ci is the pre-merge gate: build, vet, ddd-lint (full + the obs
 # layer), the full test suite under the race detector, the ddd-serve
-# end-to-end smoke, and the kill-and-resume checkpoint smoke.
+# end-to-end smoke, the kill-and-resume checkpoint smoke, and the
+# allocation budget of the dictionary build loop (steady-state
+# allocs must be independent of the Monte-Carlo sample count).
 ci: build lint lint-obs smoke-serve smoke-resume
 	$(GO) test -race ./...
+	$(GO) test ./internal/core -run '^TestBuildDictionaryAllocBudget$$' -count=1
 
 # smoke-serve boots ddd-serve on a random port with a generated test
 # dictionary, sends one diagnose request, asserts 200 + the expected
@@ -63,6 +66,23 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run XXX .
 
+# bench-core runs the tracked core kernel suite (bench_core_test.go)
+# single-threaded, three runs per benchmark, then folds the medians
+# against the committed baseline (benchmarks/core_baseline.txt) into
+# BENCH_core.json via cmd/ddd-bench. The -check gate fails the target
+# if the dictionary build has regressed below the recorded 1.5x
+# speedup over the pre-optimization baseline. Expect ~1 h wall clock:
+# the dictionary benchmark alone is ~9 s/op x 3 runs, and the baseline
+# was captured with the identical flags.
+bench-core:
+	$(GO) test -run '^$$' -bench '^BenchmarkCore' -benchmem -count 3 -cpu 1 -timeout 120m . \
+		| tee benchmarks/core_current.txt
+	$(GO) run ./cmd/ddd-bench \
+		-baseline benchmarks/core_baseline.txt \
+		-current benchmarks/core_current.txt \
+		-out BENCH_core.json \
+		-check BenchmarkCoreBuildDictionary:1.5
+
 # bench-serve measures the service's cache-hit diagnosis path and
 # snapshots the benchfmt-parseable output as the committed baseline
 # (benchmarks/serve_baseline.txt).
@@ -74,6 +94,7 @@ fuzz:
 	$(GO) test ./internal/benchfmt -fuzz=FuzzParse -fuzztime 30s
 	$(GO) test ./internal/core -fuzz=FuzzLoadDictionary -fuzztime 30s
 	$(GO) test ./internal/eval -fuzz=FuzzCheckpointJournal -fuzztime 30s
+	$(GO) test ./internal/timing -fuzz=FuzzBlockedSTA -fuzztime 30s
 
 table1:
 	$(GO) run ./cmd/ddd-table1 -n 20

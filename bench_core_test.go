@@ -1,0 +1,131 @@
+// Core Monte-Carlo kernel benchmarks — the tracked suite behind
+// `make bench-core`. These cover the hottest loops in the repository
+// (instance sampling, blocked STA propagation, criticality backtrace,
+// and dictionary construction) on an s9234-class circuit with fixed
+// seeds, so runs are comparable across commits. The committed baseline
+// lives in benchmarks/core_baseline.txt; cmd/ddd-bench turns a fresh
+// run plus that baseline into BENCH_core.json (speedups, allocs/op).
+//
+// Run single-threaded (`-cpu 1`, as `make bench-core` does): the
+// tracked quantity is per-core throughput of the kernels themselves,
+// not the fan-out scaling that par.For already provides.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/defect"
+	"repro/internal/logicsim"
+	"repro/internal/path"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/timing"
+)
+
+// benchCoreSeed roots all randomness of the core bench suite.
+const benchCoreSeed = 2003
+
+// benchCoreModel builds the s9234-class model shared by the suite.
+func benchCoreModel(b *testing.B) *timing.Model {
+	b.Helper()
+	c, err := synth.GenerateNamed("s9234", benchCoreSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return timing.NewModel(c, timing.DefaultParams())
+}
+
+// BenchmarkCoreMonteCarloSTA tracks the statistical STA sampling loop:
+// 1000 instances of an s9234-class circuit per op.
+func BenchmarkCoreMonteCarloSTA(b *testing.B) {
+	m := benchCoreModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MonteCarloSTA(1000, 7, 1)
+	}
+	b.ReportMetric(1000*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkCoreMonteCarloCriticality tracks the critical-path
+// backtrace loop: 500 instances per op.
+func BenchmarkCoreMonteCarloCriticality(b *testing.B) {
+	m := benchCoreModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MonteCarloCriticality(500, 7, 1)
+	}
+	b.ReportMetric(500*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkCoreTimingLength tracks the path timing-length estimator:
+// 2000 instances over one long path per op.
+func BenchmarkCoreTimingLength(b *testing.B) {
+	m := benchCoreModel(b)
+	c := m.C
+	site := ArcID(len(c.Arcs) / 2)
+	paths := path.KLongestThrough(c, m.Nominal, site, 1)
+	if len(paths) == 0 {
+		b.Fatal("no path through bench site")
+	}
+	arcs := paths[0].Arcs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TimingLength(arcs, 2000, 13)
+	}
+	b.ReportMetric(2000*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// benchDictSetup prepares the fixed dictionary-build configuration:
+// an s9234-class circuit, 2 random two-vector patterns, and 12 suspect
+// arcs spread across the netlist.
+func benchDictSetup(b *testing.B) (*timing.Model, []logicsim.PatternPair, []ArcID, core.DictConfig) {
+	b.Helper()
+	m := benchCoreModel(b)
+	c := m.C
+	r := rng.New(5)
+	pats := make([]logicsim.PatternPair, 2)
+	for i := range pats {
+		v1 := make(logicsim.Vector, len(c.Inputs))
+		v2 := make(logicsim.Vector, len(c.Inputs))
+		for k := range v1 {
+			v1[k] = r.Uint64()&1 == 1
+			v2[k] = r.Uint64()&1 == 1
+		}
+		pats[i] = logicsim.PatternPair{V1: v1, V2: v2}
+	}
+	const nSus = 12
+	suspects := make([]ArcID, nSus)
+	for i := range suspects {
+		suspects[i] = ArcID(i * len(c.Arcs) / nSus)
+	}
+	inj := defect.NewInjector(c, m.MeanCellDelay(), defect.DefaultParams())
+	cfg := core.DictConfig{
+		Clk:         m.SuggestClock(0.95, 200, 7),
+		Samples:     1000,
+		Seed:        17,
+		Workers:     1,
+		Incremental: true,
+		SizeDist:    inj.AssumedSizeDist(),
+	}
+	return m, pats, suspects, cfg
+}
+
+// BenchmarkCoreBuildDictionary tracks end-to-end probabilistic fault
+// dictionary construction — the dominant cost of the whole diagnosis
+// pipeline: 1000 Monte-Carlo samples x 2 patterns x 12 suspects on an
+// s9234-class circuit, single worker.
+func BenchmarkCoreBuildDictionary(b *testing.B) {
+	m, pats, suspects, cfg := benchDictSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildDictionary(m, pats, suspects, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}

@@ -1,0 +1,283 @@
+// Command ddd-bench turns raw `go test -bench` output into the tracked
+// benchmark trajectory BENCH_core.json.
+//
+// It reads two bench logs — the committed baseline
+// (benchmarks/core_baseline.txt, frozen at the pre-optimization commit)
+// and a fresh run (benchmarks/core_current.txt, written by
+// `make bench-core`) — takes the per-benchmark median over repeated
+// runs, and emits one JSON record per benchmark with ns/op, allocs/op,
+// and the speedup of current over baseline.
+//
+// The output is deliberately deterministic for a given pair of input
+// files (benchmarks sorted by name, no timestamps or host info), so
+// BENCH_core.json diffs cleanly across commits and the trajectory is
+// the git history of the file.
+//
+// A -check flag turns the tool into a regression gate:
+//
+//	ddd-bench -baseline b.txt -current c.txt -out BENCH_core.json \
+//	    -check BenchmarkCoreBuildDictionary:1.5
+//
+// exits non-zero unless current is at least 1.5x faster than baseline
+// on that benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// run is one parsed benchmark result line.
+type run struct {
+	nsOp     float64
+	allocsOp float64
+	bytesOp  float64
+}
+
+// entry is one benchmark's record in BENCH_core.json.
+type entry struct {
+	Name            string  `json:"name"`
+	BaselineNsOp    float64 `json:"baseline_ns_op"`
+	CurrentNsOp     float64 `json:"current_ns_op"`
+	Speedup         float64 `json:"speedup"`
+	BaselineAllocs  float64 `json:"baseline_allocs_op"`
+	CurrentAllocs   float64 `json:"current_allocs_op"`
+	BaselineBytesOp float64 `json:"baseline_bytes_op"`
+	CurrentBytesOp  float64 `json:"current_bytes_op"`
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkCoreBuildDictionary  1  16810145907 ns/op  59.49 samples/s  171175352 B/op  80618 allocs/op
+//
+// Custom metrics (samples/s) sit between ns/op and B/op and are
+// skipped; the -cpu suffix (`-8`) is stripped so logs from different
+// GOMAXPROCS settings compare under one name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// parseBench reads a bench log and groups result lines by benchmark
+// name (suffix-stripped), preserving encounter order within a name.
+func parseBench(r io.Reader) (map[string][]run, error) {
+	out := make(map[string][]run)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := stripCPUSuffix(m[1])
+		ru, err := parseFields(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out[name] = append(out[name], ru)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stripCPUSuffix removes go test's GOMAXPROCS suffix ("-8") when
+// present; `-cpu 1` runs print bare names already.
+func stripCPUSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseFields walks "value unit" pairs after the iteration count.
+func parseFields(rest string) (run, error) {
+	f := strings.Fields(rest)
+	ru := run{nsOp: -1, allocsOp: -1, bytesOp: -1}
+	for i := 0; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return ru, fmt.Errorf("bad value %q: %w", f[i], err)
+		}
+		switch f[i+1] {
+		case "ns/op":
+			ru.nsOp = v
+		case "B/op":
+			ru.bytesOp = v
+		case "allocs/op":
+			ru.allocsOp = v
+		}
+	}
+	if ru.nsOp < 0 {
+		return ru, fmt.Errorf("no ns/op field in %q", rest)
+	}
+	return ru, nil
+}
+
+// median returns the median of xs (mean of the middle pair when even).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// summarize reduces repeated runs to median ns/op, allocs/op, B/op.
+func summarize(runs []run) run {
+	var ns, al, by []float64
+	for _, r := range runs {
+		ns = append(ns, r.nsOp)
+		al = append(al, r.allocsOp)
+		by = append(by, r.bytesOp)
+	}
+	return run{nsOp: median(ns), allocsOp: median(al), bytesOp: median(by)}
+}
+
+// round2 keeps JSON speedups readable (2 decimal places).
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}
+
+func parseFile(path string) (map[string][]run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+// checkSpec is one "-check Name:ratio" requirement.
+type checkSpec struct {
+	name string
+	min  float64
+}
+
+func parseChecks(specs []string) ([]checkSpec, error) {
+	var out []checkSpec
+	for _, s := range specs {
+		name, minStr, ok := strings.Cut(s, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -check %q: want Name:minSpeedup", s)
+		}
+		min, err := strconv.ParseFloat(minStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -check ratio in %q: %w", s, err)
+		}
+		out = append(out, checkSpec{name: name, min: min})
+	}
+	return out, nil
+}
+
+// build joins baseline and current into sorted JSON entries. Benchmarks
+// present on only one side are skipped: the trajectory tracks the
+// intersection, and the tool reports what it dropped on stderr.
+func build(baseline, current map[string][]run, warn io.Writer) []entry {
+	var names []string
+	for name := range current {
+		if _, ok := baseline[name]; ok {
+			names = append(names, name)
+		} else {
+			fmt.Fprintf(warn, "ddd-bench: %s has no baseline entry; skipped\n", name)
+		}
+	}
+	sort.Strings(names)
+	var out []entry
+	for _, name := range names {
+		b, c := summarize(baseline[name]), summarize(current[name])
+		out = append(out, entry{
+			Name:            name,
+			BaselineNsOp:    b.nsOp,
+			CurrentNsOp:     c.nsOp,
+			Speedup:         round2(b.nsOp / c.nsOp),
+			BaselineAllocs:  b.allocsOp,
+			CurrentAllocs:   c.allocsOp,
+			BaselineBytesOp: b.bytesOp,
+			CurrentBytesOp:  c.bytesOp,
+		})
+	}
+	return out
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "benchmarks/core_baseline.txt", "committed baseline bench log")
+		currentPath  = flag.String("current", "benchmarks/core_current.txt", "fresh bench log to compare")
+		outPath      = flag.String("out", "BENCH_core.json", "JSON trajectory output ('-' for stdout)")
+	)
+	var checks multiFlag
+	flag.Var(&checks, "check", "Name:minSpeedup requirement (repeatable); exit 1 when unmet")
+	flag.Parse()
+
+	if err := realMain(*baselinePath, *currentPath, *outPath, checks); err != nil {
+		fmt.Fprintln(os.Stderr, "ddd-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(baselinePath, currentPath, outPath string, checks []string) error {
+	specs, err := parseChecks(checks)
+	if err != nil {
+		return err
+	}
+	baseline, err := parseFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := parseFile(currentPath)
+	if err != nil {
+		return err
+	}
+	entries := build(baseline, current, os.Stderr)
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmarks common to %s and %s", baselinePath, currentPath)
+	}
+
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "-" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+
+	byName := make(map[string]entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+		fmt.Printf("%-36s %12.0f -> %12.0f ns/op  %5.2fx  allocs %6.0f -> %6.0f\n",
+			e.Name, e.BaselineNsOp, e.CurrentNsOp, e.Speedup, e.BaselineAllocs, e.CurrentAllocs)
+	}
+	for _, sp := range specs {
+		e, ok := byName[sp.name]
+		if !ok {
+			return fmt.Errorf("-check %s: benchmark not found", sp.name)
+		}
+		if e.Speedup < sp.min {
+			return fmt.Errorf("-check %s: speedup %.2fx below required %.2fx", sp.name, e.Speedup, sp.min)
+		}
+		fmt.Printf("check %s: %.2fx >= %.2fx ok\n", sp.name, e.Speedup, sp.min)
+	}
+	return nil
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBaseline = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCoreBuildDictionary       	       1	16810145907 ns/op	        59.49 samples/s	171175352 B/op	   80618 allocs/op
+BenchmarkCoreBuildDictionary       	       1	16950016822 ns/op	        59.00 samples/s	171175304 B/op	   80616 allocs/op
+BenchmarkCoreBuildDictionary       	       1	16791896189 ns/op	        59.55 samples/s	171175352 B/op	   80618 allocs/op
+BenchmarkCoreMonteCarloSTA         	       1	 252001484 ns/op	      3968 samples/s	159831864 B/op	    5805 allocs/op
+PASS
+ok  	repro	54.258s
+`
+
+const sampleCurrent = `BenchmarkCoreBuildDictionary-8     	       1	 9374445575 ns/op	       106.7 samples/s	  4712368 B/op	   12458 allocs/op
+BenchmarkCoreMonteCarloSTA-8       	       1	 126000000 ns/op	      7936 samples/s	  1000000 B/op	      90 allocs/op
+BenchmarkCoreNewThisCommit-8       	       1	     50000 ns/op	       100 B/op	       2 allocs/op
+`
+
+// TestParseBench covers line matching, -cpu suffix stripping, and the
+// custom-metric (samples/s) skip.
+func TestParseBench(t *testing.T) {
+	runs, err := parseBench(strings.NewReader(sampleCurrent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, ok := runs["BenchmarkCoreBuildDictionary"]
+	if !ok || len(rs) != 1 {
+		t.Fatalf("suffix-stripped name missing or wrong count: %+v", runs)
+	}
+	if rs[0].nsOp != 9374445575 || rs[0].allocsOp != 12458 || rs[0].bytesOp != 4712368 {
+		t.Fatalf("bad fields: %+v", rs[0])
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+// TestEndToEnd runs realMain over temp files and checks the JSON and
+// the -check gate in both the passing and failing direction.
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	curPath := filepath.Join(dir, "cur.txt")
+	outPath := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(basePath, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(curPath, []byte(sampleCurrent), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err := realMain(basePath, curPath, outPath,
+		[]string{"BenchmarkCoreBuildDictionary:1.5"})
+	if err != nil {
+		t.Fatalf("realMain: %v", err)
+	}
+	buf, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []entry
+	if err := json.Unmarshal(buf, &entries); err != nil {
+		t.Fatal(err)
+	}
+	// Intersection only: BenchmarkCoreNewThisCommit has no baseline.
+	if len(entries) != 2 {
+		t.Fatalf("want 2 entries, got %d: %+v", len(entries), entries)
+	}
+	// Sorted by name.
+	if entries[0].Name != "BenchmarkCoreBuildDictionary" || entries[1].Name != "BenchmarkCoreMonteCarloSTA" {
+		t.Fatalf("bad order: %+v", entries)
+	}
+	e := entries[0]
+	// Median of the three baseline runs is the middle value.
+	if e.BaselineNsOp != 16810145907 {
+		t.Fatalf("baseline median = %v", e.BaselineNsOp)
+	}
+	if e.Speedup < 1.79 || e.Speedup > 1.80 {
+		t.Fatalf("speedup = %v", e.Speedup)
+	}
+
+	// An unmeetable check must fail.
+	err = realMain(basePath, curPath, outPath,
+		[]string{"BenchmarkCoreBuildDictionary:99"})
+	if err == nil || !strings.Contains(err.Error(), "below required") {
+		t.Fatalf("want speedup failure, got %v", err)
+	}
+	// A check on a missing benchmark must fail.
+	err = realMain(basePath, curPath, outPath, []string{"BenchmarkNope:1"})
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("want not-found failure, got %v", err)
+	}
+}

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	ddd-dict build -profile small -o small.dict [-patterns 16] [-samples 96]
+//	ddd-dict build -profile small -o small.dict [-patterns 16] [-samples 96] [-workers N]
 //	ddd-dict info small.dict
 //	ddd-dict diagnose small.dict -profile small [-case 1] [-k 10]
 package main
@@ -66,9 +66,14 @@ func build(args []string) error {
 	patterns := fs.Int("patterns", 16, "global pattern budget")
 	samples := fs.Int("samples", 96, "Monte-Carlo samples")
 	maxSuspects := fs.Int("max-suspects", 400, "fault-universe cap")
+	workers := fs.Int("workers", 0, "dictionary-build worker goroutines (0 = NumCPU)")
 	_ = fs.Parse(args)
 
-	sd, err := eval.BuildStatic(experimentConfig(*profile, *patterns, *samples), *maxSuspects)
+	cfg := experimentConfig(*profile, *patterns, *samples)
+	// Parallelism never changes the built dictionary (per-sample streams
+	// derive from the sample index), so -workers is a resource knob only.
+	cfg.Workers = *workers
+	sd, err := eval.BuildStatic(cfg, *maxSuspects)
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@
 //	parsafe  — par.For closures must write to index-disjoint slots
 //	floateq  — no raw ==/!= between probability/delay floats
 //	checkerr — invariant-checker errors must be handled
+//	hotalloc — no per-iteration allocation in //ddd:hot loops
 //
 // Usage:
 //
@@ -25,6 +26,7 @@ import (
 	"repro/internal/analysis/checkerr"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/floateq"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/parsafe"
 )
 
@@ -34,6 +36,7 @@ var Analyzers = []*analysis.Analyzer{
 	parsafe.Analyzer,
 	floateq.Analyzer,
 	checkerr.Analyzer,
+	hotalloc.Analyzer,
 }
 
 func main() {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ddd-sta -profile s1196 [-seed 2003] [-samples 2000] [-clk 25.0]
+//	ddd-sta -profile s1196 [-seed 2003] [-samples 2000] [-clk 25.0] [-workers N]
 //	ddd-sta -bench circuit.bench
 package main
 
@@ -26,6 +26,7 @@ func main() {
 	benchFile := flag.String("bench", "", ".bench netlist file (overrides -profile)")
 	samples := flag.Int("samples", 2000, "Monte-Carlo instance samples")
 	mcSeed := flag.Uint64("mc-seed", 7, "Monte-Carlo seed")
+	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = NumCPU)")
 	clk := flag.Float64("clk", 0, "cut-off period for critical probabilities (0 = 95% quantile)")
 	top := flag.Int("top", 10, "outputs to list (slowest first)")
 	flag.Parse()
@@ -39,7 +40,7 @@ func main() {
 	fmt.Printf("circuit %s: %s\n", c.Name, c.Stats())
 	fmt.Printf("mean cell delay: %.4f\n\n", m.MeanCellDelay())
 
-	res := m.MonteCarloSTA(*samples, *mcSeed, 0)
+	res := m.MonteCarloSTA(*samples, *mcSeed, *workers)
 	cd := res.CircuitDelay
 	fmt.Printf("circuit delay Δ(C): mean=%.3f σ=%.3f\n", cd.Mean(), cd.Std())
 	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
@@ -77,7 +78,7 @@ func main() {
 
 	// Statistical criticality: which arcs actually carry the critical
 	// path once variation is accounted for.
-	cr := m.MonteCarloCriticality(*samples, *mcSeed, 0)
+	cr := m.MonteCarloCriticality(*samples, *mcSeed, *workers)
 	fmt.Printf("\nmost critical arcs (P(on critical path)):\n")
 	for _, a := range cr.Top(*top) {
 		arc := c.Arcs[a]

@@ -36,6 +36,7 @@ func main() {
 	samples := flag.Int("samples", 96, "dictionary Monte-Carlo samples")
 	patterns := flag.Int("patterns", 12, "max diagnostic patterns per case")
 	maxSuspects := flag.Int("max-suspects", 0, "cap on suspect-set size (0 = unlimited)")
+	workers := flag.Int("workers", 0, "dictionary-build worker goroutines (0 = NumCPU); never changes results")
 	quick := flag.Bool("quick", false, "reduced configuration for a fast smoke run")
 	verbose := flag.Bool("v", false, "per-case detail")
 	timings := flag.Bool("timings", false, "per-stage wall-time breakdown per circuit (stderr)")
@@ -66,6 +67,7 @@ func main() {
 		cfg.DictSamples = *samples
 		cfg.MaxPatterns = *patterns
 		cfg.MaxSuspects = *maxSuspects
+		cfg.Workers = *workers
 		if *wideSize {
 			cfg.AssumedSizeFactor = [2]float64{0.25, 1.5}
 		}

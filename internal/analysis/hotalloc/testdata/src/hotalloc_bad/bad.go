@@ -1,0 +1,58 @@
+// Package hotalloc_bad allocates per iteration inside //ddd:hot
+// functions — the patterns hotalloc exists to reject.
+package hotalloc_bad
+
+// sampleRows is the hot kernel shape with a per-iteration buffer.
+//
+//ddd:hot
+func sampleRows(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		row := make([]float64, 8) // want `make inside a loop`
+		row[0] = float64(i)
+		total += row[0]
+	}
+	return total
+}
+
+// collect grows a loop-local slice from scratch every iteration.
+//
+//ddd:hot
+func collect(xs []int) int {
+	n := 0
+	for range xs {
+		var acc []int
+		for _, x := range xs {
+			acc = append(acc, x) // want `append to slice "acc" declared inside a loop`
+		}
+		n += len(acc)
+	}
+	return n
+}
+
+// boxed allocates pointer scratch per element.
+//
+//ddd:hot
+func boxed(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		p := new(int) // want `new inside a loop`
+		*p = x
+		s += *p
+	}
+	return s
+}
+
+// nested only reports each allocation once, at its innermost loop.
+//
+//ddd:hot
+func nested(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			buf := make([]int, 4) // want `make inside a loop`
+			s += buf[0] + i + j
+		}
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+// Package hotalloc_clean holds allocation patterns hotalloc must
+// accept: scratch reuse in hot functions, and unmarked functions that
+// are free to allocate.
+package hotalloc_clean
+
+// scratch is the approved shape: allocate once, reuse per iteration.
+//
+//ddd:hot
+func scratch(n int) float64 {
+	row := make([]float64, 8) // outside any loop: fine
+	total := 0.0
+	for i := 0; i < n; i++ {
+		row[0] = float64(i)
+		total += row[0]
+	}
+	return total
+}
+
+// amortized appends to a long-lived buffer: capacity survives across
+// iterations (and, with [:0] reuse, across calls), so steady-state
+// growth is allocation-free.
+//
+//ddd:hot
+func amortized(xs []int, buf []int) []int {
+	buf = buf[:0]
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	return buf
+}
+
+// coldPath is not marked hot: per-iteration allocation is allowed.
+func coldPath(n int) []([]int) {
+	var out [][]int
+	for i := 0; i < n; i++ {
+		out = append(out, make([]int, i))
+	}
+	return out
+}
+
+// justified documents an intentional exception.
+//
+//ddd:hot
+func justified(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if s == 0 { // cold first-iteration path
+			//lint:ignore hotalloc grow-once guard, never hit in steady state
+			p := make([]int, n)
+			s += len(p)
+		}
+		s += i
+	}
+	return s
+}

@@ -101,21 +101,46 @@ func (cd *CompressedDictionary) DenseBytes() int {
 // absent entries contributing s = 0 (hence φ_j = 0 whenever a failing
 // output has no stored signature probability).
 func (cd *CompressedDictionary) PatternConsistency(si int, b *Behavior) []float64 {
+	phi := make([]float64, cd.cols)
+	failing := make([]int, cd.cols)
+	countFailing(b, failing)
+	cd.patternConsistencyInto(phi, failing, si, b)
+	return phi
+}
+
+// countFailing tallies the failing outputs of each pattern (column) of
+// b into failing. The counts depend only on b, so Diagnose computes
+// them once and shares them across all suspects.
+func countFailing(b *Behavior, failing []int) {
+	for j := 0; j < b.Cols; j++ {
+		n := 0
+		for i := 0; i < b.Rows; i++ {
+			if b.At(i, j) {
+				n++
+			}
+		}
+		failing[j] = n
+	}
+}
+
+// patternConsistencyInto is PatternConsistency writing into
+// caller-owned phi, given precomputed per-pattern failing counts — the
+// kernel behind the compressed Diagnose, which reuses one phi buffer
+// and one failing count across every suspect (the per-request hot loop
+// of ddd-serve).
+//
+//ddd:hot
+func (cd *CompressedDictionary) patternConsistencyInto(phi []float64, failing []int, si int, b *Behavior) {
 	if b.Rows != cd.rows || b.Cols != cd.cols {
 		panic("core: behavior shape does not match compressed dictionary")
 	}
-	phi := make([]float64, cd.cols)
 	// Start from the all-absent baseline: φ_j = 0 if pattern j has any
 	// failing output, else 1.
-	failing := make([]int, cd.cols)
-	for j := 0; j < cd.cols; j++ {
-		for i := 0; i < cd.rows; i++ {
-			if b.At(i, j) {
-				failing[j]++
-			}
-		}
-		if failing[j] == 0 {
+	for j, n := range failing {
+		if n == 0 {
 			phi[j] = 1
+		} else {
+			phi[j] = 0
 		}
 	}
 	// Walk the sparse entries pattern by pattern.
@@ -144,7 +169,6 @@ func (cd *CompressedDictionary) PatternConsistency(si int, b *Behavior) []float6
 		phi[j] = p
 		start = end
 	}
-	return phi
 }
 
 // Diagnose ranks all suspects against b using the given method, like
@@ -152,8 +176,15 @@ func (cd *CompressedDictionary) PatternConsistency(si int, b *Behavior) []float6
 func (cd *CompressedDictionary) Diagnose(b *Behavior, method Method) []Ranked {
 	diagnoses.Inc()
 	out := make([]Ranked, len(cd.Suspects))
+	// Shared scratch for the suspect loop: the failing counts depend
+	// only on b, and Method.Score reduces phi to a scalar without
+	// retaining the slice.
+	phi := make([]float64, cd.cols)
+	failing := make([]int, cd.cols)
+	countFailing(b, failing)
 	for si, arc := range cd.Suspects {
-		out[si] = Ranked{Arc: arc, Score: method.Score(cd.PatternConsistency(si, b))}
+		cd.patternConsistencyInto(phi, failing, si, b)
+		out[si] = Ranked{Arc: arc, Score: method.Score(phi)}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score < out[j].Score {

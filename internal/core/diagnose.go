@@ -54,11 +54,21 @@ type Ranked struct {
 // probability that output i's behavior under pattern j is consistent
 // with the observation, with outputs treated as independent.
 func (d *Dictionary) PatternConsistency(si int, b *Behavior) []float64 {
+	phi := make([]float64, d.S[si].Cols)
+	d.patternConsistencyInto(phi, si, b)
+	return phi
+}
+
+// patternConsistencyInto is PatternConsistency writing into
+// caller-owned phi, the kernel behind Diagnose: ranking every suspect
+// reuses one phi buffer instead of allocating per suspect.
+//
+//ddd:hot
+func (d *Dictionary) patternConsistencyInto(phi []float64, si int, b *Behavior) {
 	s := d.S[si]
 	if b.Rows != s.Rows || b.Cols != s.Cols {
 		panic("core: behavior shape does not match dictionary")
 	}
-	phi := make([]float64, s.Cols)
 	for j := 0; j < s.Cols; j++ {
 		p := 1.0
 		for i := 0; i < s.Rows; i++ {
@@ -71,7 +81,6 @@ func (d *Dictionary) PatternConsistency(si int, b *Behavior) []float64 {
 		}
 		phi[j] = p
 	}
-	return phi
 }
 
 // Score combines per-pattern consistencies into the method's overall
@@ -116,8 +125,11 @@ func (m Method) Score(phi []float64) float64 {
 func (d *Dictionary) Diagnose(b *Behavior, method Method) []Ranked {
 	diagnoses.Inc()
 	out := make([]Ranked, len(d.Suspects))
+	// One phi buffer serves every suspect: Method.Score reduces it to a
+	// scalar without retaining the slice.
+	phi := make([]float64, b.Cols)
 	for si, arc := range d.Suspects {
-		phi := d.PatternConsistency(si, b)
+		d.patternConsistencyInto(phi, si, b)
 		out[si] = Ranked{Arc: arc, Score: method.Score(phi)}
 	}
 	less := func(i, j int) bool {

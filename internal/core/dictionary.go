@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/circuit"
@@ -109,86 +108,109 @@ func BuildDictionaryCtx(ctx context.Context, m *timing.Model, patterns []logicsi
 
 	nOut, nPat, nSus := len(c.Outputs), len(patterns), len(suspects)
 
-	// Per-suspect fan-out cones, shared read-only across workers.
-	cones := make([]circuit.GateSet, nSus)
+	// Per-suspect fan-out cones with precomputed boundary pin lists,
+	// shared read-only across workers: every (sample, pattern) re-uses
+	// the same cone, so the boundary scan is hoisted out of the
+	// simulation loop entirely.
+	cones := make([]*tsim.Cone, nSus)
 	for i, a := range suspects {
-		cones[i] = c.ArcFanoutGates(a)
+		cones[i] = tsim.PrepareCone(c, c.ArcFanoutGates(a))
+	}
+
+	// Settled gate states depend only on the pattern, never on the
+	// sampled delays — evaluate each pattern's pair once up front
+	// instead of twice per (sample, pattern) inside the workers, and
+	// prepare the flattened engine reset state alongside.
+	patPrep := make([]*tsim.PreparedInit, nPat)
+	patFinal := make([][]bool, nPat)
+	for j, pat := range patterns {
+		patPrep[j] = tsim.PrepareInit(c, logicsim.Eval(c, pat.V1))
+		patFinal[j] = logicsim.Eval(c, pat.V2)
 	}
 
 	type accum struct {
 		m []int32 // nOut*nPat
 		e []int32 // nSus*nOut*nPat
 	}
-	accums := make([]*accum, workers)
-
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			acc := &accum{
-				m: make([]int32, nOut*nPat),
-				e: make([]int32, nSus*nOut*nPat),
-			}
-			accums[w] = acc
-			eng := tsim.NewEngine(c)
-			engInc := tsim.NewEngine(c)
-			baseFail := make([]bool, nOut)
-			for s := w; s < cfg.Samples; s += workers {
-				if ctx.Err() != nil {
-					return
-				}
-				inst := m.SampleInstanceSeeded(cfg.Seed, uint64(s))
-				// One defect size per (sample, suspect): a die has a
-				// single defect of one size.
-				sizes := make([]float64, nSus)
-				szRng := rng.New(rng.DeriveN(cfg.Seed, sizeStream, uint64(s)))
-				for i := range sizes {
-					sizes[i] = cfg.SizeDist.Sample(szRng)
-				}
-				for j, pat := range patterns {
-					opts := tsim.AtClock(cfg.Clk)
-					opts.RecordWaveforms = true
-					base := eng.Run(inst.Delays, pat, opts)
-					for oi, o := range c.Outputs {
-						baseFail[oi] = base.Capture[oi] != base.Final[o]
-						if baseFail[oi] {
-							acc.m[oi*nPat+j]++
-						}
-					}
-					for i, arc := range suspects {
-						row := (i*nOut)*nPat + j
-						if !base.Transitioned[c.Arcs[arc].From] {
-							// The defect arc never sees a transition:
-							// E equals the baseline for this pattern.
-							for oi := 0; oi < nOut; oi++ {
-								if baseFail[oi] {
-									acc.e[row+oi*nPat]++
-								}
-							}
-							continue
-						}
-						var res *tsim.Result
-						if cfg.Incremental {
-							res = engInc.RunIncremental(inst.Delays, base, cones[i], arc, sizes[i], cfg.Clk)
-						} else {
-							o2 := tsim.AtClock(cfg.Clk)
-							o2.DefectArc = arc
-							o2.DefectExtra = sizes[i]
-							res = engInc.Run(inst.Delays, pat, o2)
-						}
-						for oi, o := range c.Outputs {
-							if res.Capture[oi] != base.Final[o] {
-								acc.e[row+oi*nPat]++
-							}
-						}
-					}
-				}
-			}
-		}(w)
+	// dictWorker is one worker's reusable scratch: simulation engines,
+	// the instance delay buffer, defect sizes, and reseedable RNG
+	// streams — allocated once per worker, so the per-sample loop is
+	// allocation-free in steady state.
+	type dictWorker struct {
+		acc      accum
+		eng      *tsim.Engine
+		engInc   *tsim.Engine
+		baseFail []bool
+		delays   []float64
+		sizes    []float64
+		stream   *rng.Stream
 	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	ws := make([]*dictWorker, workers)
+
+	if _, err := par.ForWorkerCtx(ctx, cfg.Samples, cfg.Workers, func(w, s int) {
+		wk := ws[w]
+		if wk == nil {
+			wk = &dictWorker{
+				acc: accum{
+					m: make([]int32, nOut*nPat),
+					e: make([]int32, nSus*nOut*nPat),
+				},
+				eng:      tsim.NewEngine(c),
+				engInc:   tsim.NewEngine(c),
+				baseFail: make([]bool, nOut),
+				delays:   make([]float64, len(c.Arcs)),
+				sizes:    make([]float64, nSus),
+				stream:   rng.NewStream(),
+			}
+			ws[w] = wk
+		}
+		acc := &wk.acc
+		m.SampleDelaysInto(wk.delays, wk.stream.ResetDerived(cfg.Seed, uint64(s)))
+		// One defect size per (sample, suspect): a die has a single
+		// defect of one size.
+		szRng := wk.stream.Reset(rng.DeriveN(cfg.Seed, sizeStream, uint64(s)))
+		for i := range wk.sizes {
+			wk.sizes[i] = cfg.SizeDist.Sample(szRng)
+		}
+		for j, pat := range patterns {
+			opts := tsim.AtClock(cfg.Clk)
+			opts.RecordWaveforms = true
+			base := wk.eng.RunPrepared(wk.delays, pat, opts, patPrep[j], patFinal[j])
+			for oi, o := range c.Outputs {
+				wk.baseFail[oi] = base.Capture[oi] != base.Final[o]
+				if wk.baseFail[oi] {
+					acc.m[oi*nPat+j]++
+				}
+			}
+			for i, arc := range suspects {
+				row := (i*nOut)*nPat + j
+				if !base.Transitioned[c.Arcs[arc].From] {
+					// The defect arc never sees a transition:
+					// E equals the baseline for this pattern.
+					for oi := 0; oi < nOut; oi++ {
+						if wk.baseFail[oi] {
+							acc.e[row+oi*nPat]++
+						}
+					}
+					continue
+				}
+				var res *tsim.Result
+				if cfg.Incremental {
+					res = wk.engInc.RunIncrementalCone(wk.delays, base, cones[i], arc, wk.sizes[i], cfg.Clk)
+				} else {
+					o2 := tsim.AtClock(cfg.Clk)
+					o2.DefectArc = arc
+					o2.DefectExtra = wk.sizes[i]
+					res = wk.engInc.RunPrepared(wk.delays, pat, o2, patPrep[j], patFinal[j])
+				}
+				for oi, o := range c.Outputs {
+					if res.Capture[oi] != base.Final[o] {
+						acc.e[row+oi*nPat]++
+					}
+				}
+			}
+		}
+	}); err != nil {
 		return nil, err
 	}
 
@@ -202,8 +224,11 @@ func BuildDictionaryCtx(ctx context.Context, m *timing.Model, patterns []logicsi
 		S:        make([]*Matrix, nSus),
 	}
 	inv := 1.0 / float64(cfg.Samples)
-	for _, acc := range accums {
-		for k, v := range acc.m {
+	for _, wk := range ws {
+		if wk == nil {
+			continue // worker never claimed a sample
+		}
+		for k, v := range wk.acc.m {
 			d.M.Data[k] += float64(v)
 		}
 	}
@@ -211,9 +236,12 @@ func BuildDictionaryCtx(ctx context.Context, m *timing.Model, patterns []logicsi
 	for i := 0; i < nSus; i++ {
 		e := NewMatrix(nOut, nPat)
 		off := i * nOut * nPat
-		for _, acc := range accums {
+		for _, wk := range ws {
+			if wk == nil {
+				continue
+			}
 			for k := 0; k < nOut*nPat; k++ {
-				e.Data[k] += float64(acc.e[off+k])
+				e.Data[k] += float64(wk.acc.e[off+k])
 			}
 		}
 		e.Scale(inv)

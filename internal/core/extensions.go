@@ -117,8 +117,15 @@ func (d *Dictionary) DiagnoseNamed(b *Behavior, name string) ([]Ranked, bool) {
 func (cd *CompressedDictionary) DiagnoseErrorFunc(b *Behavior, fn ErrorFunc) []Ranked {
 	diagnoses.Inc()
 	out := make([]Ranked, len(cd.Suspects))
+	// The failing counts depend only on b: compute them once. phi is
+	// still allocated per suspect because fn is caller-supplied and may
+	// legitimately retain the slice.
+	failing := make([]int, cd.cols)
+	countFailing(b, failing)
 	for si, arc := range cd.Suspects {
-		out[si] = Ranked{Arc: arc, Score: fn(cd.PatternConsistency(si, b))}
+		phi := make([]float64, cd.cols)
+		cd.patternConsistencyInto(phi, failing, si, b)
+		out[si] = Ranked{Arc: arc, Score: fn(phi)}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score < out[j].Score {

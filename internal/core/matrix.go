@@ -107,6 +107,23 @@ func NewBehavior(rows, cols int) *Behavior {
 	return &Behavior{Rows: rows, Cols: cols, Data: make([]bool, rows*cols)}
 }
 
+// Reset reshapes b to an all-pass rows x cols matrix, reusing the
+// backing array when it is large enough. It lets callers on hot
+// request paths (ddd-serve) pool Behavior values instead of
+// allocating one per request.
+func (b *Behavior) Reset(rows, cols int) {
+	n := rows * cols
+	b.Rows, b.Cols = rows, cols
+	if cap(b.Data) < n {
+		b.Data = make([]bool, n)
+		return
+	}
+	b.Data = b.Data[:n]
+	for i := range b.Data {
+		b.Data[i] = false
+	}
+}
+
 // At returns entry (i, j).
 func (b *Behavior) At(i, j int) bool { return b.Data[i*b.Cols+j] }
 

@@ -44,14 +44,30 @@ func (p PatternPair) String() string {
 // assignment in (indexed parallel to c.Inputs). The returned slice is
 // indexed by GateID.
 func Eval(c *circuit.Circuit, in Vector) []bool {
+	return EvalInto(nil, c, in)
+}
+
+// EvalInto is Eval writing into dst, reusing its backing array when it
+// is large enough — the allocation-free form for hot simulation loops.
+// It returns the filled slice (freshly allocated when dst lacks
+// capacity); every element is overwritten, so dst's prior contents do
+// not matter.
+func EvalInto(dst []bool, c *circuit.Circuit, in Vector) []bool {
 	if len(in) != len(c.Inputs) {
 		panic(fmt.Sprintf("logicsim: vector has %d values for %d inputs", len(in), len(c.Inputs)))
 	}
-	vals := make([]bool, len(c.Gates))
+	if cap(dst) < len(c.Gates) {
+		dst = make([]bool, len(c.Gates))
+	}
+	vals := dst[:len(c.Gates)]
+	for i := range vals {
+		vals[i] = false // match Eval's freshly-zeroed slice exactly
+	}
 	for i, g := range c.Inputs {
 		vals[g] = in[i]
 	}
-	scratch := make([]bool, 0, 8)
+	var sbuf [8]bool
+	scratch := sbuf[:0]
 	for _, gid := range c.Order {
 		g := &c.Gates[gid]
 		if g.Type == circuit.Input {

@@ -114,6 +114,58 @@ func ForCtx(ctx context.Context, n, workers int, fn func(i int)) (int, error) {
 	return int(completed.Load()), ctx.Err()
 }
 
+// ForWorkerCtx is ForCtx for callers that keep per-worker scratch: fn
+// receives the worker index w in addition to the item index i, with
+// 0 <= w < Workers(workers, n). Each worker invokes fn sequentially,
+// so state keyed by w (reusable buffers, RNG streams, simulation
+// engines) needs no further synchronization; items are still claimed
+// dynamically, so which items a worker sees is scheduling-dependent —
+// results must not depend on the (w, i) pairing.
+//
+// Cancellation, completion counting, and panic semantics match ForCtx.
+func ForWorkerCtx(ctx context.Context, n, workers int, fn func(w, i int)) (int, error) {
+	if n <= 0 {
+		return 0, ctx.Err()
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		done := 0
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return done, err
+			}
+			call(i, func(i int) { fn(0, i) }, nil)
+			done++
+		}
+		return done, ctx.Err()
+	}
+	var firstPanic atomic.Pointer[PanicError]
+	var next, completed atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				call(i, func(i int) { fn(w, i) }, &firstPanic)
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pe := firstPanic.Load(); pe != nil {
+		panic(pe)
+	}
+	return int(completed.Load()), ctx.Err()
+}
+
 // call invokes fn(i), converting a panic into a *PanicError. With a
 // nil sink (the single-worker inline path) the wrapper re-panics
 // immediately on the caller; otherwise the first panic is recorded for

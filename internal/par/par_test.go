@@ -213,3 +213,63 @@ func TestForWorkersZeroBoundedConcurrency(t *testing.T) {
 		t.Errorf("peak concurrency = %d under GOMAXPROCS(2), want <= 2", got)
 	}
 }
+
+func TestForWorkerCtxCoversAllIndicesWithValidWorkerIDs(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 500
+		w := Workers(workers, n)
+		hits := make([]atomic.Int32, n)
+		var badWorker atomic.Int32
+		done, err := ForWorkerCtx(context.Background(), n, workers, func(wk, i int) {
+			if wk < 0 || wk >= w {
+				badWorker.Store(1)
+			}
+			hits[i].Add(1)
+		})
+		if err != nil || done != n {
+			t.Fatalf("workers=%d: done=%d err=%v", workers, done, err)
+		}
+		if badWorker.Load() != 0 {
+			t.Fatalf("workers=%d: worker id out of [0,%d)", workers, w)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d index %d hit %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForWorkerCtxScratchNeedsNoLocking(t *testing.T) {
+	// Per-worker accumulators written without synchronization must be
+	// race-free (verified under -race) and sum to the full range.
+	n, workers := 2000, 4
+	w := Workers(workers, n)
+	sums := make([]int64, w)
+	done, err := ForWorkerCtx(context.Background(), n, workers, func(wk, i int) {
+		sums[wk] += int64(i)
+	})
+	if err != nil || done != n {
+		t.Fatalf("done=%d err=%v", done, err)
+	}
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	if want := int64(n) * int64(n-1) / 2; total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestForWorkerCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := atomic.Int32{}
+	done, err := ForWorkerCtx(ctx, 100, 4, func(_, _ int) { called.Add(1) })
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if done != 0 && int(called.Load()) != done {
+		t.Fatalf("done=%d calls=%d", done, called.Load())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -99,15 +100,29 @@ func resolveMethod(name string) (m core.Method, named string, ok bool) {
 	return 0, "", false
 }
 
-// parseBehavior converts the row strings into a core.Behavior of the
-// dictionary's shape.
+// behaviorPool recycles the per-request behavior matrices. Shapes vary
+// across dictionaries, so pooled values are Reset to the request's
+// shape on checkout; Reset reuses the backing array whenever it is
+// large enough, which makes the steady-state diagnosis path free of
+// per-request matrix allocations once the pool has warmed up to the
+// largest resident dictionary.
+var behaviorPool = sync.Pool{
+	New: func() any { return &core.Behavior{} },
+}
+
+// parseBehavior converts the row strings into a pooled core.Behavior
+// of the dictionary's shape. The caller must return it with
+// behaviorPool.Put once diagnosis is done — the matrix never escapes
+// into the response.
 func parseBehavior(rowStrs []string, rows, cols int) (*core.Behavior, error) {
 	if len(rowStrs) != rows {
 		return nil, fmt.Errorf("behavior has %d rows, dictionary expects %d outputs", len(rowStrs), rows)
 	}
-	b := core.NewBehavior(rows, cols)
+	b := behaviorPool.Get().(*core.Behavior)
+	b.Reset(rows, cols)
 	for i, row := range rowStrs {
 		if len(row) != cols {
+			behaviorPool.Put(b)
 			return nil, fmt.Errorf("behavior row %d has %d columns, dictionary expects %d patterns", i, len(row), cols)
 		}
 		for j := 0; j < cols; j++ {
@@ -116,6 +131,7 @@ func parseBehavior(rowStrs []string, rows, cols int) (*core.Behavior, error) {
 			case '1':
 				b.Set(i, j, true)
 			default:
+				behaviorPool.Put(b)
 				return nil, fmt.Errorf("behavior row %d column %d: %q is not '0' or '1'", i, j, row[j])
 			}
 		}
@@ -143,6 +159,9 @@ func diagnoseOne(ent *Entry, req *DiagnoseRequest) (*DiagnoseResponse, int, stri
 		ranked = ent.Dict.Diagnose(b, method)
 		methodName = method.String()
 	}
+	// Diagnose copies everything it needs out of b; recycle it before
+	// building the response.
+	behaviorPool.Put(b)
 
 	resp := &DiagnoseResponse{
 		Dict:     ent.ID,

@@ -3,7 +3,6 @@ package timing
 import (
 	"context"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/circuit"
@@ -22,12 +21,6 @@ type Criticality struct {
 	Prob []float64 // indexed by ArcID
 }
 
-// critCtxStride is how many samples a MonteCarloCriticalityCtx worker
-// runs between cancellation checks: frequent enough that a cancel
-// lands within ~1k samples of work per worker, rare enough that the
-// atomic load never shows up next to a full timing walk.
-const critCtxStride = 1024
-
 // MonteCarloCriticality samples nSamples instances; on each, it
 // computes arrival times, walks the critical path backward from the
 // latest output, and counts each traversed arc. Workers bound the
@@ -42,10 +35,15 @@ func (m *Model) MonteCarloCriticality(nSamples int, seed uint64, workers int) *C
 }
 
 // MonteCarloCriticalityCtx is MonteCarloCriticality with cooperative
-// cancellation: each worker checks ctx every critCtxStride samples and
-// stops early when it is done. A cancelled run returns (nil, ctx.Err())
-// — a partial criticality estimate would be silently biased toward the
+// cancellation: workers check ctx between sample blocks and stop early
+// when it is done. A cancelled run returns (nil, ctx.Err()) — a
+// partial criticality estimate would be silently biased toward the
 // samples that happened to finish, so none is returned.
+//
+// Samples are propagated in blocks on reusable per-worker scratch
+// (see kernel.go); per-arc counts accumulate in int64 per worker and
+// are summed exactly before the single division by nSamples, so the
+// estimate is bit-identical under any worker count or block width.
 func (m *Model) MonteCarloCriticalityCtx(ctx context.Context, nSamples int, seed uint64, workers int) (*Criticality, error) {
 	if nSamples <= 0 {
 		return &Criticality{Prob: make([]float64, len(m.C.Arcs))}, ctx.Err()
@@ -58,59 +56,46 @@ func (m *Model) MonteCarloCriticalityCtx(ctx context.Context, nSamples int, seed
 		critSeconds.Add(time.Since(start).Seconds())
 	}()
 	critSamples.Add(float64(nSamples))
-	workers = par.Workers(workers, nSamples)
-	counts := make([][]int32, workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			cnt := make([]int32, len(m.C.Arcs))
-			counts[w] = cnt
-			done := 0
-			for s := w; s < nSamples; s += workers {
-				if done%critCtxStride == 0 && ctx.Err() != nil {
-					return
-				}
-				done++
-				inst := m.SampleInstanceSeeded(seed, uint64(s))
-				arr := m.ArrivalTimes(inst)
-				// Latest output; deterministic tie-break on gate ID.
-				worst := m.C.Outputs[0]
-				for _, o := range m.C.Outputs[1:] {
-					if arr[o] > arr[worst] {
-						worst = o
-					}
-				}
-				// Walk backward choosing, at each gate, the pin that
-				// realizes the arrival time.
-				g := worst
-				for len(m.C.Gates[g].Fanin) > 0 {
-					gate := &m.C.Gates[g]
-					bestPin := 0
-					bestT := arr[gate.Fanin[0]] + inst.Delays[gate.InArcs[0]]
-					for k := 1; k < len(gate.Fanin); k++ {
-						if t := arr[gate.Fanin[k]] + inst.Delays[gate.InArcs[k]]; t > bestT {
-							bestT = t
-							bestPin = k
-						}
-					}
-					cnt[gate.InArcs[bestPin]]++
-					g = gate.Fanin[bestPin]
-				}
+	block := DefaultBlock
+	nBlocks := (nSamples + block - 1) / block
+	nWorkers := par.Workers(workers, nBlocks)
+	scratches := make([]*Scratch, nWorkers)
+	counts := make([][]int64, nWorkers)
+	defer func() {
+		for _, sc := range scratches {
+			if sc != nil {
+				m.releaseScratch(sc)
 			}
-		}(w)
-	}
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+		}
+	}()
+	if _, err := par.ForWorkerCtx(ctx, nBlocks, workers, func(w, j int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = m.acquireScratch(block)
+			scratches[w] = sc
+			counts[w] = make([]int64, len(m.C.Arcs))
+		}
+		s0 := j * block
+		nb := block
+		if s0+nb > nSamples {
+			nb = nSamples - s0
+		}
+		arrivalEvals.Add(float64(nb))
+		m.sampleBlock(sc, seed, s0, nb)
+		m.propagateBlock(sc, nb)
+		m.backtraceBlock(sc, nb, counts[w])
+	}); err != nil {
 		return nil, err
 	}
-	cr := &Criticality{Prob: make([]float64, len(m.C.Arcs))}
-	inv := 1.0 / float64(nSamples)
+	total := make([]int64, len(m.C.Arcs))
 	for _, cnt := range counts {
 		for i, v := range cnt {
-			cr.Prob[i] += float64(v) * inv
+			total[i] += v
 		}
+	}
+	cr := &Criticality{Prob: make([]float64, len(m.C.Arcs))}
+	for i, v := range total {
+		cr.Prob[i] = float64(v) / float64(nSamples)
 	}
 	return cr, nil
 }

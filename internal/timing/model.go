@@ -20,6 +20,7 @@ package timing
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/rng"
@@ -78,11 +79,16 @@ type Model struct {
 	C       *circuit.Circuit
 	P       Params
 	Nominal []float64 // per-arc nominal delay (the mean of f(e))
+
+	// pool recycles default-block kernel Scratch across Monte-Carlo
+	// calls; nil (models not built via NewModel) just allocates.
+	pool *sync.Pool
 }
 
 // NewModel characterizes every arc of c under p.
 func NewModel(c *circuit.Circuit, p Params) *Model {
 	m := &Model{C: c, P: p, Nominal: make([]float64, len(c.Arcs))}
+	m.pool = newScratchPool(m)
 	for i := range c.Arcs {
 		a := &c.Arcs[i]
 		to := &c.Gates[a.To]
@@ -141,18 +147,37 @@ type Instance struct {
 // positive (Definition D.1 defines f(e) over [0, +inf]).
 const minScale = 0.05
 
+// sampleArc computes one arc's fixed delay from the instance's global
+// factor g and the arc's local factor l. Both the scalar sampler and
+// the blocked kernel funnel through this helper, so the two paths
+// evaluate the same floating-point expression and produce bit-identical
+// delays.
+func (m *Model) sampleArc(nom, g, l float64) float64 {
+	scale := 1 + m.P.SigmaGlobal*g + m.P.SigmaLocal*l
+	if scale < minScale {
+		scale = minScale
+	}
+	return nom * scale
+}
+
 // SampleInstance draws one circuit instance using r.
 func (m *Model) SampleInstance(r *rand.Rand) *Instance {
 	in := &Instance{Delays: make([]float64, len(m.Nominal))}
+	m.SampleDelaysInto(in.Delays, r)
+	return in
+}
+
+// SampleDelaysInto draws one instance's per-arc delays into dst (which
+// must have length len(m.Nominal)) without allocating — the scratch
+// form of SampleInstance for hot Monte-Carlo loops. The RNG draw order
+// (one global normal, then one local normal per arc) is identical to
+// SampleInstance's, so both produce bit-identical delays from the same
+// generator state.
+func (m *Model) SampleDelaysInto(dst []float64, r *rand.Rand) {
 	g := r.NormFloat64()
 	for i, nom := range m.Nominal {
-		scale := 1 + m.P.SigmaGlobal*g + m.P.SigmaLocal*r.NormFloat64()
-		if scale < minScale {
-			scale = minScale
-		}
-		in.Delays[i] = nom * scale
+		dst[i] = m.sampleArc(nom, g, r.NormFloat64())
 	}
-	return in
 }
 
 // SampleInstanceSeeded draws the idx-th instance of a deterministic

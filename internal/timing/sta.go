@@ -60,12 +60,20 @@ func (m *Model) MonteCarloSTA(nSamples int, seed uint64, workers int) *STAResult
 }
 
 // MonteCarloSTACtx is MonteCarloSTA with cooperative cancellation:
-// workers stop claiming samples once ctx is done (par.ForCtx checks
-// between items, so a cancel lands within one static timing pass per
-// worker). A cancelled run returns (nil, ctx.Err()) — the partially
-// filled per-output arrays would bias every quantile toward whichever
-// samples completed, so no partial distribution is built.
+// workers stop claiming sample blocks once ctx is done (the fan-out
+// checks between blocks, so a cancel lands within one block of static
+// timing per worker). A cancelled run returns (nil, ctx.Err()) — the
+// partially filled per-output arrays would bias every quantile toward
+// whichever samples completed, so no partial distribution is built.
 func (m *Model) MonteCarloSTACtx(ctx context.Context, nSamples int, seed uint64, workers int) (*STAResult, error) {
+	return m.monteCarloSTABlocked(ctx, nSamples, seed, workers, DefaultBlock)
+}
+
+// monteCarloSTABlocked is the blocked implementation behind
+// MonteCarloSTACtx, with an explicit block width so equivalence tests
+// and the fuzz target can vary it. Results are bit-identical for every
+// block >= 1 (see the kernel contract in kernel.go).
+func (m *Model) monteCarloSTABlocked(ctx context.Context, nSamples int, seed uint64, workers, block int) (*STAResult, error) {
 	start := time.Now()
 	defer func() {
 		staSeconds.Add(time.Since(start).Seconds())
@@ -79,18 +87,44 @@ func (m *Model) MonteCarloSTACtx(ctx context.Context, nSamples int, seed uint64,
 		perOut[i] = make([]float64, nSamples)
 	}
 	delays := make([]float64, nSamples)
-	if _, err := par.ForCtx(ctx, nSamples, workers, func(s int) {
-		in := m.SampleInstanceSeeded(seed, uint64(s))
-		arr := m.ArrivalTimes(in)
-		worst := 0.0
-		for i, o := range m.C.Outputs {
-			t := arr[o]
-			perOut[i][s] = t
-			if t > worst {
-				worst = t
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	nBlocks := (nSamples + block - 1) / block
+	scratches := make([]*Scratch, par.Workers(workers, nBlocks))
+	defer func() {
+		for _, sc := range scratches {
+			if sc != nil {
+				m.releaseScratch(sc)
 			}
 		}
-		delays[s] = worst
+	}()
+	if _, err := par.ForWorkerCtx(ctx, nBlocks, workers, func(w, j int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = m.acquireScratch(block)
+			scratches[w] = sc
+		}
+		s0 := j * block
+		nb := block
+		if s0+nb > nSamples {
+			nb = nSamples - s0
+		}
+		arrivalEvals.Add(float64(nb))
+		m.sampleBlock(sc, seed, s0, nb)
+		m.propagateBlock(sc, nb)
+		B := sc.block
+		for b := 0; b < nb; b++ {
+			worst := 0.0
+			for i, o := range m.C.Outputs {
+				t := sc.arr[int(o)*B+b]
+				perOut[i][s0+b] = t
+				if t > worst {
+					worst = t
+				}
+			}
+			delays[s0+b] = worst
+		}
 	}); err != nil {
 		return nil, err
 	}
@@ -157,17 +191,59 @@ func PathDelay(in *Instance, arcs []circuit.ArcID) float64 {
 }
 
 // TimingLength estimates the statistical timing length TL(p) of a path
-// by Monte Carlo over nSamples instances.
+// by Monte Carlo over nSamples instances, using all CPUs.
 func (m *Model) TimingLength(arcs []circuit.ArcID, nSamples int, seed uint64) *dist.Empirical {
+	tl, _ := m.TimingLengthCtx(context.Background(), arcs, nSamples, seed, 0)
+	return tl
+}
+
+// TimingLengthCtx is TimingLength with cooperative cancellation and an
+// explicit worker bound (0 = GOMAXPROCS, see par.Workers). Instances
+// are sampled in blocks on reusable per-worker scratch; each sample
+// draws the full instance (the same rng.NewDerived(seed, s) stream as
+// every other Monte-Carlo entry point) and sums the path's arc delays
+// in path order, so results are bit-identical to the scalar
+// PathDelay(SampleInstanceSeeded(seed, s), arcs). A cancelled run
+// returns (nil, ctx.Err()).
+func (m *Model) TimingLengthCtx(ctx context.Context, arcs []circuit.ArcID, nSamples int, seed uint64, workers int) (*dist.Empirical, error) {
 	if nSamples > 0 {
 		tlSamples.Add(float64(nSamples))
 	}
 	xs := make([]float64, nSamples)
-	par.For(nSamples, 0, func(s int) {
-		in := m.SampleInstanceSeeded(seed, uint64(s))
-		xs[s] = PathDelay(in, arcs)
-	})
-	return dist.NewEmpirical(xs)
+	block := DefaultBlock
+	nBlocks := (nSamples + block - 1) / block
+	scratches := make([]*Scratch, par.Workers(workers, nBlocks))
+	defer func() {
+		for _, sc := range scratches {
+			if sc != nil {
+				m.releaseScratch(sc)
+			}
+		}
+	}()
+	if _, err := par.ForWorkerCtx(ctx, nBlocks, workers, func(w, j int) {
+		sc := scratches[w]
+		if sc == nil {
+			sc = m.acquireScratch(block)
+			scratches[w] = sc
+		}
+		s0 := j * block
+		nb := block
+		if s0+nb > nSamples {
+			nb = nSamples - s0
+		}
+		m.sampleBlock(sc, seed, s0, nb)
+		B := sc.block
+		for b := 0; b < nb; b++ {
+			t := 0.0
+			for _, a := range arcs {
+				t += sc.delays[int(a)*B+b]
+			}
+			xs[s0+b] = t
+		}
+	}); err != nil {
+		return nil, err
+	}
+	return dist.NewEmpirical(xs), nil
 }
 
 // quantileSeed is the sub-stream index used by helpers that need an

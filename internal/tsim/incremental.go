@@ -18,9 +18,59 @@ type pinRef struct {
 // O(|gates|) state per call, the engine records what the previous run
 // touched and undoes exactly that.
 type incState struct {
-	baseInit []bool // identity of the baseline init state currently loaded
-	dirtyG   []circuit.GateID
-	dirtyP   []pinRef
+	// baseSrc/baseGen identify the baseline run currently loaded (the
+	// engine that produced it and its run generation).
+	baseSrc *Engine
+	baseGen uint64
+	dirtyG  []circuit.GateID
+	dirtyP  []pinRef
+}
+
+// boundarySeed is one cone input pin: pin (g, pin) of a cone gate whose
+// driver lies outside the cone, together with the arc connecting them.
+type boundarySeed struct {
+	driver circuit.GateID
+	g      circuit.GateID
+	pin    int32
+	arc    circuit.ArcID
+}
+
+// Cone is a defect fan-out cone preprocessed for repeated incremental
+// runs: the member set plus the flattened list of boundary pins that
+// receive baseline waveforms. Building it costs one O(|gates|) scan;
+// dictionary construction reuses one Cone per suspect across every
+// (sample, pattern) re-simulation instead of re-scanning the gate set
+// each call. A Cone is immutable after PrepareCone and safe to share
+// across engines and goroutines.
+type Cone struct {
+	// Set holds the cone members (typically circuit.ArcFanoutGates of
+	// the defect arc).
+	Set circuit.GateSet
+
+	boundary []boundarySeed
+}
+
+// PrepareCone flattens the boundary pin list of a cone gate set, in the
+// exact (gate, pin) order the seed loop scans, so seed event seq
+// assignment — and therefore tie-break order — matches the unprepared
+// path.
+func PrepareCone(c *circuit.Circuit, set circuit.GateSet) *Cone {
+	pc := &Cone{Set: set}
+	for gi := range set {
+		if !set[gi] {
+			continue
+		}
+		g := &c.Gates[gi]
+		for k, fi := range g.Fanin {
+			if set.Has(fi) {
+				continue
+			}
+			pc.boundary = append(pc.boundary, boundarySeed{
+				driver: fi, g: circuit.GateID(gi), pin: int32(k), arc: g.InArcs[k],
+			})
+		}
+	}
+	return pc
 }
 
 // RunIncremental re-simulates only the fan-out cone of a defect arc,
@@ -39,81 +89,122 @@ type incState struct {
 //
 // Repeated calls against the same base reuse engine state with an
 // undo log, so the per-call cost scales with cone activity rather than
-// circuit size.
+// circuit size. Callers that sweep many instances over the same cone
+// should PrepareCone once and use RunIncrementalCone.
 func (e *Engine) RunIncremental(delays []float64, base *Result, cone circuit.GateSet, defectArc circuit.ArcID, extra, horizon float64) *Result {
+	return e.RunIncrementalCone(delays, base, PrepareCone(e.c, cone), defectArc, extra, horizon)
+}
+
+// RunIncrementalCone is RunIncremental against a preprocessed Cone.
+//
+// Seed events — the baseline waveforms of boundary drivers shifted by
+// the (possibly defective) arc delay — are generated into a flat buffer
+// and sorted once, rather than pushed through the event heap: the heap
+// then holds only re-simulation-derived events, whose in-flight count
+// is one to two orders of magnitude smaller than the seed count, and
+// drainInc consumes the two sources by merge. The consumed (t, seq)
+// order is identical to the all-heap schedule (both pop the unique
+// strict-total-order minimum each step), so results are bit-exact.
+func (e *Engine) RunIncrementalCone(delays []float64, base *Result, cone *Cone, defectArc circuit.ArcID, extra, horizon float64) *Result {
 	if base.Waveforms == nil {
 		panic("tsim: RunIncremental requires a baseline with recorded waveforms")
 	}
 	opts := Options{Horizon: horizon, DefectArc: defectArc, DefectExtra: extra}
-	e.prepareIncremental(base.Init)
+	e.prepareIncremental(base)
 
-	var seq int64
-	// Seed: every cone pin driven from outside the cone receives the
-	// baseline waveform of its driver, shifted by the (possibly
-	// defective) arc delay. Cone-internal pins are driven by the
-	// re-simulation itself.
-	for gi := range cone {
-		if !cone[gi] {
-			continue
-		}
-		g := &e.c.Gates[gi]
-		for k, fi := range g.Fanin {
-			if cone.Has(fi) {
-				continue
+	seeds := e.seedBuf[:0]
+	for i := range cone.boundary {
+		bs := &cone.boundary[i]
+		d := arcDelay(delays, &opts, bs.arc)
+		for _, st := range base.Waveforms[bs.driver] {
+			t := st.T + d
+			if t > horizon {
+				break
 			}
-			d := arcDelay(delays, &opts, g.InArcs[k])
-			for _, st := range base.Waveforms[fi] {
-				t := st.T + d
-				if t > horizon {
-					break
-				}
-				e.queue.push(event{t: t, seq: seq, g: circuit.GateID(gi), pin: int32(k), v: st.V})
-				seq++
-			}
+			seeds = append(seeds, event{t: t, seq: int32(len(seeds)), g: bs.g, pin: bs.pin, v: st.V})
 		}
 	}
-	e.drainInc(delays, &opts, &seq, cone)
-	return e.buildResult(base.Init, base.Final, opts, cone, base)
+	e.seedBuf = seeds
+	sortEvents(seeds)
+	seq := int32(len(seeds))
+	e.drainInc(delays, &opts, &seq, cone.Set)
+	return e.buildResult(base.Init, base.Final, opts, cone.Set, base)
 }
 
 // prepareIncremental restores engine scratch to the baseline init
-// state — via the undo log when the same baseline is already loaded,
-// or with a full reset on first use.
-func (e *Engine) prepareIncremental(init []bool) {
-	if e.inc.baseInit != nil && &e.inc.baseInit[0] == &init[0] && len(e.inc.baseInit) == len(init) {
+// state — via the undo log when the same baseline run (identified by
+// its producing engine and generation, since baseline buffers are
+// reused across runs) is already loaded, or with a full reset on
+// first use.
+func (e *Engine) prepareIncremental(base *Result) {
+	init := base.Init
+	if e.inc.baseSrc != nil && e.inc.baseSrc == base.src && e.inc.baseGen == base.gen {
 		for _, g := range e.inc.dirtyG {
 			e.cur[g] = init[g]
 			e.last[g] = 0
 			e.trans[g] = false
 		}
 		for _, p := range e.inc.dirtyP {
-			e.pins[p.g][p.pin] = init[e.c.Gates[p.g].Fanin[p.pin]]
+			pi := e.pinOff[p.g] + p.pin
+			v0 := init[e.c.Gates[p.g].Fanin[p.pin]]
+			// A pin can appear several times in the log (toggled
+			// repeatedly); restore — and fix the evaluator counter —
+			// only when its value actually differs from the baseline.
+			if e.pinVals[pi] != v0 {
+				e.pinVals[pi] = v0
+				if v0 == (e.gmode[p.g]&gmCV != 0) {
+					e.cnt[p.g]++
+				} else {
+					e.cnt[p.g]--
+				}
+			}
 		}
 		e.inc.dirtyG = e.inc.dirtyG[:0]
 		e.inc.dirtyP = e.inc.dirtyP[:0]
 		e.queue = e.queue[:0]
 		return
 	}
-	e.reset(init, false)
-	e.inc.baseInit = init
+	if base.prep != nil {
+		e.resetPrepared(base.prep, false)
+	} else {
+		e.reset(init, false)
+	}
+	e.inc.baseSrc = base.src
+	e.inc.baseGen = base.gen
 	e.inc.dirtyG = e.inc.dirtyG[:0]
 	e.inc.dirtyP = e.inc.dirtyP[:0]
 }
 
 // drainInc is drain with cone-restricted propagation and dirty-state
-// logging for the undo reset.
-func (e *Engine) drainInc(delays []float64, opts *Options, seq *int64, cone circuit.GateSet) {
-	for len(e.queue) > 0 {
-		ev := e.queue.pop()
-		if ev.t > opts.Horizon {
-			break
+// logging for the undo reset. It merges two event sources: the
+// presorted seed buffer and the heap of derived events, taking the
+// (t, seq) minimum of the two heads each step. On a tie the seed wins —
+// seed seq values precede all derived seq values by construction.
+// Seeds and derived events are both horizon-filtered at creation, so no
+// pop-time horizon check is needed.
+//
+//ddd:hot
+func (e *Engine) drainInc(delays []float64, opts *Options, seq *int32, cone circuit.GateSet) {
+	seeds := e.seedBuf
+	si := 0
+	for {
+		var ev event
+		switch {
+		case si < len(seeds) && (len(e.queue) == 0 || !lessEv(&e.queue[0], &seeds[si])):
+			ev = seeds[si]
+			si++
+		case len(e.queue) > 0:
+			ev = e.queue.pop()
+		default:
+			return
 		}
-		if e.pins[ev.g][ev.pin] == ev.v {
+		pi := e.pinOff[ev.g] + ev.pin
+		if e.pinVals[pi] == ev.v {
 			continue
 		}
-		e.pins[ev.g][ev.pin] = ev.v
+		e.pinVals[pi] = ev.v
 		e.inc.dirtyP = append(e.inc.dirtyP, pinRef{g: ev.g, pin: ev.pin})
-		newOut := e.c.Gates[ev.g].Type.Eval(e.pins[ev.g])
+		newOut := e.applyPin(ev.g, ev.v)
 		if newOut == e.cur[ev.g] {
 			continue
 		}
