@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-obs ci test race bench bench-core bench-serve smoke-serve smoke-resume chaos fuzz table1 figures ablate clean
+.PHONY: all build vet lint lint-self lint-obs ci test race bench bench-core bench-serve smoke-serve smoke-resume chaos fuzz table1 figures ablate clean
 
 all: build vet lint test
 
@@ -12,11 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# ddd-lint: the repo's own analyzers (detrand, parsafe, floateq,
-# checkerr) run alongside go vet. See DESIGN.md, "Determinism & lint
-# invariants".
+# ddd-lint: the repo's eight analyzers (detrand, parsafe, floateq,
+# checkerr, hotalloc, ctxflow, pairok, detorder) run alongside go vet
+# over every package, cmd/ included. -time prints per-analyzer wall
+# time on stderr so a slow analyzer is caught before it slows the
+# gate. See DESIGN.md, "Determinism & lint invariants" and
+# "Flow-sensitive analysis".
 lint: vet
-	$(GO) run ./cmd/ddd-lint ./...
+	$(GO) run ./cmd/ddd-lint -time ./...
+
+# lint-self turns the analyzers on their own implementation: the CFG
+# builder, dataflow engine, and analyzer packages must satisfy the
+# same invariants they enforce.
+lint-self:
+	$(GO) run ./cmd/ddd-lint -time ./internal/analysis/... ./cmd/ddd-lint
 
 # lint-obs scopes the analyzers to the metrics layer alone — the
 # package every other layer's instrumentation hooks into, so it gets
@@ -24,12 +33,12 @@ lint: vet
 lint-obs:
 	$(GO) run ./cmd/ddd-lint ./internal/obs/...
 
-# ci is the pre-merge gate: build, vet, ddd-lint (full + the obs
-# layer), the full test suite under the race detector, the ddd-serve
+# ci is the pre-merge gate: build, vet, ddd-lint (full + self + the
+# obs layer), the full test suite under the race detector, the ddd-serve
 # end-to-end smoke, the kill-and-resume checkpoint smoke, and the
 # allocation budget of the dictionary build loop (steady-state
 # allocs must be independent of the Monte-Carlo sample count).
-ci: build lint lint-obs smoke-serve smoke-resume
+ci: build lint lint-self lint-obs smoke-serve smoke-resume
 	$(GO) test -race ./...
 	$(GO) test ./internal/core -run '^TestBuildDictionaryAllocBudget$$' -count=1
 

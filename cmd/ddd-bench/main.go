@@ -184,15 +184,19 @@ func parseChecks(specs []string) ([]checkSpec, error) {
 // present on only one side are skipped: the trajectory tracks the
 // intersection, and the tool reports what it dropped on stderr.
 func build(baseline, current map[string][]run, warn io.Writer) []entry {
-	var names []string
+	var names, skipped []string
 	for name := range current {
 		if _, ok := baseline[name]; ok {
 			names = append(names, name)
 		} else {
-			fmt.Fprintf(warn, "ddd-bench: %s has no baseline entry; skipped\n", name)
+			skipped = append(skipped, name)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(skipped)
+	for _, name := range skipped {
+		fmt.Fprintf(warn, "ddd-bench: %s has no baseline entry; skipped\n", name)
+	}
 	var out []entry
 	for _, name := range names {
 		b, c := summarize(baseline[name]), summarize(current[name])

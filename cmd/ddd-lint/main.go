@@ -5,28 +5,42 @@
 //	floateq  — no raw ==/!= between probability/delay floats
 //	checkerr — invariant-checker errors must be handled
 //	hotalloc — no per-iteration allocation in //ddd:hot loops
+//	ctxflow  — ctx-receiving functions must thread their context
+//	pairok   — pool Get/Put, Lock/Unlock, Scratch acquire/release
+//	           must pair on every control-flow path
+//	detorder — map-range results must be sorted before serialization
+//
+// The last three are flow-sensitive: they run over per-function
+// control-flow graphs built by internal/analysis/flow.
 //
 // Usage:
 //
-//	go run ./cmd/ddd-lint [-v] [packages]
+//	go run ./cmd/ddd-lint [-v] [-json] [-time] [packages]
 //
 // With no arguments it analyzes ./... (test files included). It prints
 // one line per finding, a summary counting reported and suppressed
-// diagnostics, and exits non-zero when anything is reported. See
-// DESIGN.md, "Determinism & lint invariants", for the rules and the
-// //lint:ignore suppression directive.
+// diagnostics, and exits non-zero when anything is reported. -json
+// emits the diagnostics as a machine-readable array on stdout for CI
+// annotation; -time reports per-analyzer wall time on stderr. See
+// DESIGN.md, "Determinism & lint invariants" and "Flow-sensitive
+// analysis", for the rules and the //lint:ignore suppression
+// directive.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/checkerr"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/detorder"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/floateq"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/pairok"
 	"repro/internal/analysis/parsafe"
 )
 
@@ -37,12 +51,30 @@ var Analyzers = []*analysis.Analyzer{
 	floateq.Analyzer,
 	checkerr.Analyzer,
 	hotalloc.Analyzer,
+	ctxflow.Analyzer,
+	pairok.Analyzer,
+	detorder.Analyzer,
+}
+
+// jsonDiagnostic is the -json output schema, one element per
+// diagnostic (suppressed ones included, marked): CI annotators key on
+// file/line/analyzer.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
 }
 
 func main() {
 	verbose := flag.Bool("v", false, "also print suppressed diagnostics with their justifications")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	timings := flag.Bool("time", false, "report per-analyzer wall time on stderr")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: ddd-lint [-v] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ddd-lint [-v] [-json] [-time] [packages]\n\nAnalyzers:\n")
 		for _, a := range Analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-9s %s\n", a.Name, a.Doc)
 		}
@@ -58,7 +90,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ddd-lint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(Analyzers, pkgs)
+	diags, perAnalyzer, err := analysis.RunTimed(Analyzers, pkgs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ddd-lint: %v\n", err)
 		os.Exit(2)
@@ -68,13 +100,41 @@ func main() {
 	for _, d := range diags {
 		if d.Suppressed {
 			suppressed++
-			if *verbose {
+			if *verbose && !*jsonOut {
 				fmt.Printf("%s: suppressed (%s): %s [%s]\n", d.Pos, d.SuppressReason, d.Message, d.Analyzer)
 			}
 			continue
 		}
 		reported++
-		fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+		if !*jsonOut {
+			fmt.Printf("%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Column:     d.Pos.Column,
+				Analyzer:   d.Analyzer,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+				Reason:     d.SuppressReason,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "ddd-lint: encoding: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *timings {
+		for _, tm := range perAnalyzer {
+			fmt.Fprintf(os.Stderr, "ddd-lint: %-9s %8.1fms\n",
+				tm.Analyzer, float64(tm.Duration.Microseconds())/1000)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "ddd-lint: %d package(s), %d issue(s), %d suppressed\n",
 		len(pkgs), reported, suppressed)

@@ -19,6 +19,9 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"time"
+
+	"repro/internal/analysis/flow"
 )
 
 // Analyzer describes one static-analysis pass.
@@ -48,6 +51,46 @@ type Pass struct {
 	ImportPath string
 
 	diagnostics []Diagnostic
+	cfgs        map[ast.Node]*flow.Graph
+}
+
+// CFG returns the control-flow graph of fn (an *ast.FuncDecl or
+// *ast.FuncLit), building it on first request and memoizing it for
+// the rest of the pass, so several flow-sensitive analyzers of one
+// suite share construction cost. It returns nil when fn has no body.
+func (p *Pass) CFG(fn ast.Node) *flow.Graph {
+	if g, ok := p.cfgs[fn]; ok {
+		return g
+	}
+	if p.cfgs == nil {
+		p.cfgs = make(map[ast.Node]*flow.Graph)
+	}
+	g := flow.New(fn)
+	p.cfgs[fn] = g
+	return g
+}
+
+// ForEachFunc calls f once for every function declaration and every
+// function literal in the pass's files that has a body. Each function
+// literal is visited in its own right — its body is excluded from the
+// enclosing function's CFG — so flow-sensitive analyzers see every
+// body exactly once.
+func (p *Pass) ForEachFunc(f func(fn ast.Node, body *ast.BlockStmt)) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					f(n, n.Body)
+				}
+			case *ast.FuncLit:
+				if n.Body != nil {
+					f(n, n.Body)
+				}
+			}
+			return true
+		})
+	}
 }
 
 // Diagnostic is one reported problem.
@@ -91,9 +134,28 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // directives are already applied: suppressed diagnostics are included
 // with Suppressed set so drivers can count them.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(analyzers, pkgs)
+	return diags, err
+}
+
+// Timing records one analyzer's cumulative wall time across every
+// package of a RunTimed call.
+type Timing struct {
+	Analyzer string
+	Duration time.Duration
+}
+
+// RunTimed is Run with per-analyzer wall-time accounting, in the
+// analyzers' given order, so drivers can report which passes dominate
+// the lint gate.
+func RunTimed(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, []Timing, error) {
 	var all []Diagnostic
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		supp := collectSuppressions(pkg.Fset, pkg.Files)
+		// One CFG cache per package: every flow-sensitive analyzer in
+		// the suite reuses the graphs built by the first one.
+		cfgs := make(map[ast.Node]*flow.Graph)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:   a,
@@ -102,12 +164,20 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				Pkg:        pkg.Types,
 				TypesInfo:  pkg.TypesInfo,
 				ImportPath: pkg.ImportPath,
+				cfgs:       cfgs,
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			start := time.Now()
+			err := a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
 			}
 			all = append(all, supp.apply(pass.diagnostics)...)
 		}
+	}
+	timings := make([]Timing, 0, len(analyzers))
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Analyzer: a.Name, Duration: elapsed[a.Name]})
 	}
 	sort.Slice(all, func(i, j int) bool {
 		pi, pj := all[i].Pos, all[j].Pos
@@ -122,5 +192,5 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 		}
 		return all[i].Analyzer < all[j].Analyzer
 	})
-	return all, nil
+	return all, timings, nil
 }

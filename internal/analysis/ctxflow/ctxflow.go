@@ -1,0 +1,284 @@
+// Package ctxflow implements the context-threading analyzer: a
+// function that receives a context.Context is part of the pipeline's
+// cancellation chain (DESIGN.md, "Failure model") and must thread that
+// context into every callee that can carry it. Detaching mid-chain —
+// passing context.Background()/context.TODO() onward, or calling the
+// context-free variant of a callee that has a Ctx sibling — silently
+// breaks the ctx.Err()-on-cancel guarantee the serve and build paths
+// depend on.
+//
+// Inside every function (or function literal) with a context.Context
+// parameter it reports:
+//
+//   - a call argument that is directly context.Background() or
+//     context.TODO(): the caller's context is dropped on the spot;
+//   - a context-typed variable argument that, on some control-flow
+//     path, was reassigned from context.Background()/TODO() — found
+//     with reaching definitions over the function's CFG, so a detach
+//     inside one branch of a conditional is caught at the call site
+//     where the laundered context escapes;
+//   - a call of a module-internal function or method Foo when a
+//     sibling FooCtx accepting a context.Context exists (par.For vs
+//     par.ForCtx, Cache.Get vs Cache.GetCtx): the context-free
+//     variant runs the work detached from cancellation.
+//
+// Constructing a fresh root context is legitimate in functions outside
+// the chain (main, tests, servers creating their root); those have no
+// ctx parameter and are not analyzed. Intentional detachment inside
+// the chain (a background task that must outlive the request)
+// documents itself with //lint:ignore ctxflow <reason>.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flow"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "context-receiving functions must thread their ctx: no Background/TODO " +
+		"laundering mid-chain, no context-free calls when a Ctx sibling exists",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.ForEachFunc(func(fn ast.Node, body *ast.BlockStmt) {
+		params := ctxParams(pass, fn)
+		if len(params) == 0 {
+			return
+		}
+		checkFunc(pass, fn, body, params)
+	})
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParams returns the context.Context parameters of fn.
+func ctxParams(pass *analysis.Pass, fn ast.Node) []types.Object {
+	var fieldList *ast.FieldList
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		fieldList = fn.Type.Params
+	case *ast.FuncLit:
+		fieldList = fn.Type.Params
+	}
+	if fieldList == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range fieldList.List {
+		for _, name := range field.Names {
+			obj := pass.ObjectOf(name)
+			if obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// isDetachCall reports whether e is context.Background() or
+// context.TODO().
+func isDetachCall(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := pass.ObjectOf(id).(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "context" {
+		return "", false
+	}
+	return "context." + sel.Sel.Name + "()", true
+}
+
+func checkFunc(pass *analysis.Pass, fn ast.Node, body *ast.BlockStmt, params []types.Object) {
+	g := pass.CFG(fn)
+	if g == nil {
+		return
+	}
+	var reaching *flow.Reaching // built lazily: most functions need none
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are analyzed in their own right
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if name, ok := isDetachCall(pass, arg); ok {
+				pass.Reportf(arg.Pos(),
+					"%s passed onward from a function that receives a context.Context: thread the caller's ctx instead",
+					name)
+				continue
+			}
+			id, ok := arg.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if t := pass.TypeOf(id); t == nil || !isContextType(t) {
+				continue
+			}
+			if reaching == nil {
+				reaching = g.Reaching(pass.TypesInfo, params)
+			}
+			obj := pass.ObjectOf(id)
+			for _, def := range reaching.DefsAt(obj, call) {
+				if rhs := detachingRHS(pass, def, obj); rhs != "" {
+					pass.Reportf(arg.Pos(),
+						"context %q may be %s here (reassigned at line %d): the callee runs detached from the caller's cancellation on that path",
+						id.Name, rhs, pass.Fset.Position(def.Pos()).Line)
+					break
+				}
+			}
+		}
+		checkCtxSibling(pass, call)
+		return true
+	})
+}
+
+// detachingRHS reports the Background/TODO expression a definition of
+// obj binds, or "" when the definition keeps the chain intact.
+func detachingRHS(pass *analysis.Pass, def ast.Node, obj types.Object) string {
+	switch def := def.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range def.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.ObjectOf(id) != obj {
+				continue
+			}
+			if len(def.Rhs) == len(def.Lhs) {
+				if name, ok := isDetachCall(pass, def.Rhs[i]); ok {
+					return name
+				}
+			}
+		}
+	case *ast.ValueSpec:
+		for i, name := range def.Names {
+			if pass.ObjectOf(name) != obj || i >= len(def.Values) {
+				continue
+			}
+			if rhs, ok := isDetachCall(pass, def.Values[i]); ok {
+				return rhs
+			}
+		}
+	}
+	return ""
+}
+
+// checkCtxSibling reports a call of module-internal Foo when FooCtx
+// exists, accepts a context, and Foo itself does not.
+func checkCtxSibling(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := calleeFunc(pass, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	// Only the module's own API surface (and, for the fixtures, the
+	// package under analysis itself): stdlib names stay out of scope.
+	if !strings.HasPrefix(callee.Pkg().Path(), "repro/") && callee.Pkg().Path() != "repro" &&
+		callee.Pkg() != pass.Pkg {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || hasCtxParam(sig) {
+		return
+	}
+	name := callee.Name()
+	if strings.HasSuffix(name, "Ctx") {
+		return
+	}
+	sibling := lookupSibling(callee, name+"Ctx")
+	if sibling == nil {
+		return
+	}
+	sibSig, ok := sibling.Type().(*types.Signature)
+	if !ok || !hasCtxParam(sibSig) {
+		return
+	}
+	kind := "function"
+	if sig.Recv() != nil {
+		kind = "method"
+	}
+	pass.Reportf(call.Pos(),
+		"call of context-free %s %s from a function that receives a context.Context: use %s so cancellation propagates",
+		kind, name, sibling.Name())
+}
+
+// calleeFunc resolves the called function or method, or nil for
+// builtins, function values, and conversions.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// hasCtxParam reports whether any parameter of sig is context.Context.
+func hasCtxParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupSibling finds a function named name next to callee: a method
+// on the same receiver type, or a package-level function in the same
+// package.
+func lookupSibling(callee *types.Func, name string) *types.Func {
+	sig := callee.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		named := namedOf(recv.Type())
+		if named == nil {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == name {
+				return m
+			}
+		}
+		return nil
+	}
+	fn, _ := callee.Pkg().Scope().Lookup(name).(*types.Func)
+	return fn
+}
+
+// namedOf unwraps pointers to the receiver's named type.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

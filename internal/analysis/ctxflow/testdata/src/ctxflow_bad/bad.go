@@ -1,0 +1,56 @@
+// Package ctxflow_bad drops or launders the caller's context — the
+// patterns ctxflow exists to reject.
+package ctxflow_bad
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func blocking(n int) int { return n }
+
+func blockingCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// direct drops the caller's ctx on the spot.
+func direct(ctx context.Context) error {
+	return work(context.Background()) // want `context.Background\(\) passed onward`
+}
+
+// todoLaundering is the same with TODO.
+func todoLaundering(ctx context.Context) error {
+	return work(context.TODO()) // want `context.TODO\(\) passed onward`
+}
+
+// branchDetach is the flow-sensitive case a syntactic check misses:
+// the call site passes a plain `ctx` identifier, but on the fallback
+// path that variable was reassigned from context.TODO().
+func branchDetach(ctx context.Context, fallback bool) error {
+	if fallback {
+		ctx = context.TODO()
+	}
+	return work(ctx) // want `may be context.TODO\(\) here \(reassigned at line 33\)`
+}
+
+// sibling calls the context-free variant of a callee that has a Ctx
+// sibling, detaching the work from cancellation.
+func sibling(ctx context.Context, n int) int {
+	return blocking(n) // want `use blockingCtx so cancellation propagates`
+}
+
+type store struct{ n int }
+
+func (s *store) Flush() { s.n = 0 }
+
+func (s *store) FlushCtx(ctx context.Context) error {
+	s.n = 0
+	return ctx.Err()
+}
+
+// method is the sibling rule for methods.
+func method(ctx context.Context, s *store) {
+	s.Flush() // want `use FlushCtx so cancellation propagates`
+}

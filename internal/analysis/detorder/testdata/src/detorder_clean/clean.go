@@ -1,0 +1,64 @@
+// Package detorder_clean holds map-iteration patterns detorder must
+// accept: collect-then-sort, order-insensitive reductions, and
+// justified nondeterminism.
+package detorder_clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// emit is the sanctioned idiom: collect, sort, then serialize.
+func emit(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// count is an order-insensitive reduction.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert writes into another map: order-blind.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// viaHelper sorts through a hand-rolled comparator helper — the
+// repository's convention for sorts that must keep strict weak
+// ordering, recognized by name.
+func viaHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+// sample documents intentional nondeterminism.
+func sample(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	//lint:ignore detorder any representative subset will do for the preview
+	return keys
+}

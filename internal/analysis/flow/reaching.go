@@ -1,0 +1,209 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Reaching holds the result of a reaching-definitions analysis over
+// one Graph: for every block, the set of definitions (per object) that
+// may be live on entry. Definitions are the AST nodes that bind a
+// value to the object — parameter declarations, assignment statements,
+// var specs, inc/dec statements, and range key/value bindings. An
+// assignment to an object kills every prior definition of it (objects
+// tracked here are scalars, so the update is strong).
+type Reaching struct {
+	g    *Graph
+	info *types.Info
+	in   map[*Block]defSet
+}
+
+// defSet maps an object to the definition nodes that may reach a
+// program point.
+type defSet map[types.Object]map[ast.Node]bool
+
+func (ds defSet) clone() defSet {
+	out := make(defSet, len(ds))
+	for obj, nodes := range ds {
+		m := make(map[ast.Node]bool, len(nodes))
+		for n := range nodes {
+			m[n] = true
+		}
+		out[obj] = m
+	}
+	return out
+}
+
+// merge unions src into ds, reporting whether ds changed.
+func (ds defSet) merge(src defSet) bool {
+	changed := false
+	for obj, nodes := range src {
+		dst := ds[obj]
+		if dst == nil {
+			dst = make(map[ast.Node]bool, len(nodes))
+			ds[obj] = dst
+		}
+		for n := range nodes {
+			if !dst[n] {
+				dst[n] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// define records a strong update: n becomes the only definition of obj.
+func (ds defSet) define(obj types.Object, n ast.Node) {
+	ds[obj] = map[ast.Node]bool{n: true}
+}
+
+// Reaching runs the reaching-definitions fixpoint. params are the
+// objects defined at function entry (normally the function's
+// parameters); their definition node is their declaring identifier.
+func (g *Graph) Reaching(info *types.Info, params []types.Object) *Reaching {
+	r := &Reaching{g: g, info: info, in: make(map[*Block]defSet, len(g.Blocks))}
+	for _, blk := range g.Blocks {
+		r.in[blk] = make(defSet)
+	}
+	entry := r.in[g.Entry]
+	for _, p := range params {
+		if p != nil {
+			entry.define(p, declNode(p))
+		}
+	}
+	// Worklist fixpoint: out(b) = transfer(in(b)); in(s) ∪= out(b).
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	inWork := make(map[*Block]bool, len(g.Blocks))
+	for _, blk := range work {
+		inWork[blk] = true
+	}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+		out := r.in[blk].clone()
+		for _, n := range blk.Nodes {
+			r.transfer(out, n)
+		}
+		for _, s := range blk.Succs {
+			if r.in[s].merge(out) && !inWork[s] {
+				inWork[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return r
+}
+
+// declNode returns a stand-in AST node for a parameter definition: an
+// identifier positioned at the object's declaration.
+func declNode(obj types.Object) ast.Node {
+	return &ast.Ident{NamePos: obj.Pos(), Name: obj.Name()}
+}
+
+// transfer applies the definitions made by one shallow CFG node.
+func (r *Reaching) transfer(ds defSet, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := r.objOf(id); obj != nil {
+					ds.define(obj, n)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			if obj := r.objOf(id); obj != nil {
+				ds.define(obj, n)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, id := range vs.Names {
+				if obj := r.objOf(id); obj != nil {
+					ds.define(obj, vs)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := r.objOf(id); obj != nil {
+					ds.define(obj, n)
+				}
+			}
+		}
+	}
+}
+
+// objOf resolves an identifier to its object through Defs then Uses.
+func (r *Reaching) objOf(id *ast.Ident) types.Object {
+	if obj := r.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return r.info.Uses[id]
+}
+
+// DefsAt returns the definitions of obj that may reach the evaluation
+// of node at (typically a call expression): the block in-state plus
+// the effect of the block's nodes strictly before the one containing
+// at. A nil result means obj is unknown to the graph (not assigned,
+// not a tracked parameter).
+func (r *Reaching) DefsAt(obj types.Object, at ast.Node) []ast.Node {
+	blk, idx := r.locate(at)
+	if blk == nil {
+		return nil
+	}
+	ds := r.in[blk].clone()
+	for i := 0; i < idx; i++ {
+		r.transfer(ds, blk.Nodes[i])
+	}
+	nodes := ds[obj]
+	out := make([]ast.Node, 0, len(nodes))
+	for n := range nodes {
+		out = append(out, n)
+	}
+	sortNodes(out)
+	return out
+}
+
+// locate finds the block node containing at (or being at) and its
+// index within the block.
+func (r *Reaching) locate(at ast.Node) (*Block, int) {
+	pos, end := at.Pos(), at.End()
+	var bestBlk *Block
+	bestIdx := -1
+	var bestSpan token.Pos = -1
+	for _, blk := range r.g.Blocks {
+		for i, n := range blk.Nodes {
+			if n.Pos() <= pos && end <= n.End() {
+				span := n.End() - n.Pos()
+				if bestBlk == nil || span < bestSpan {
+					bestBlk, bestIdx, bestSpan = blk, i, span
+				}
+			}
+		}
+	}
+	return bestBlk, bestIdx
+}
+
+// sortNodes orders nodes by position for deterministic reporting.
+func sortNodes(nodes []ast.Node) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && nodes[j].Pos() < nodes[j-1].Pos(); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadTestVariantDedup loads two module packages that both have
+// in-package test variants and checks the loader's dedup contract:
+// one Package per import path, the test variant superseding the plain
+// package, and no synthesized ".test" main packages.
+func TestLoadTestVariantDedup(t *testing.T) {
+	pkgs, err := Load("repro/internal/dist", "repro/internal/par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		var paths []string
+		for _, p := range pkgs {
+			paths = append(paths, p.ImportPath)
+		}
+		t.Fatalf("got %d packages %v, want 2", len(pkgs), paths)
+	}
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		// ImportPath must be canonical: no "p [p.test]" bracket form
+		// and no synthesized test main.
+		if strings.Contains(p.ImportPath, "[") || strings.HasSuffix(p.ImportPath, ".test") {
+			t.Errorf("non-canonical import path %q", p.ImportPath)
+		}
+		if seen[p.ImportPath] {
+			t.Errorf("package %q loaded twice (plain package not deduped against its test variant)", p.ImportPath)
+		}
+		seen[p.ImportPath] = true
+
+		// The test variant's files include _test.go sources.
+		foundTest := false
+		for _, f := range p.Files {
+			if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+				foundTest = true
+			}
+		}
+		if !foundTest {
+			t.Errorf("%s: test variant files not loaded", p.ImportPath)
+		}
+	}
+	if !seen["repro/internal/dist"] || !seen["repro/internal/par"] {
+		t.Errorf("loaded set %v missing a requested package", seen)
+	}
+}
+
+// TestLoadTestVariantTypes checks that symbols defined only in
+// _test.go files are present in the type information, which is what
+// lets analyzers see test code.
+func TestLoadTestVariantTypes(t *testing.T) {
+	pkgs, err := Load("repro/internal/dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "repro/internal/dist" {
+		t.Fatalf("ImportPath = %q", p.ImportPath)
+	}
+	foundTestSymbol := false
+	for _, name := range p.Types.Scope().Names() {
+		if strings.HasPrefix(name, "Test") {
+			foundTestSymbol = true
+		}
+	}
+	if !foundTestSymbol {
+		t.Errorf("no Test* symbol in scope: test-variant type information missing")
+	}
+}

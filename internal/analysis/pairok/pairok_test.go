@@ -1,0 +1,12 @@
+package pairok_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pairok"
+)
+
+func TestPairok(t *testing.T) {
+	analysistest.Run(t, "testdata", pairok.Analyzer, "pairok_bad", "pairok_clean")
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseForSuppress parses src as file "s.go" and collects its
+// suppression directives.
+func parseForSuppress(t *testing.T, src string) (*token.FileSet, *suppressionSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, collectSuppressions(fset, []*ast.File{f})
+}
+
+func diag(analyzer string, line int) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: "s.go", Line: line},
+		Message:  "test diagnostic",
+	}
+}
+
+func TestSuppressTrailingCoversOwnLine(t *testing.T) {
+	_, s := parseForSuppress(t, `package p
+
+func f() int {
+	return 1 //lint:ignore detrand trailing form covers this line
+}
+`)
+	out := s.apply([]Diagnostic{diag("detrand", 4)})
+	if !out[0].Suppressed {
+		t.Fatal("trailing directive did not suppress its own line")
+	}
+	if out[0].SuppressReason != "trailing form covers this line" {
+		t.Fatalf("reason = %q", out[0].SuppressReason)
+	}
+}
+
+func TestSuppressStandaloneCoversNextLine(t *testing.T) {
+	_, s := parseForSuppress(t, `package p
+
+func f() int {
+	//lint:ignore detrand standalone form covers the next line
+	return 1
+}
+`)
+	out := s.apply([]Diagnostic{diag("detrand", 5), diag("detrand", 4)})
+	if !out[0].Suppressed {
+		t.Fatal("standalone directive did not suppress the next line")
+	}
+	if out[1].Suppressed {
+		t.Fatal("standalone directive must not suppress its own line")
+	}
+}
+
+func TestSuppressWrongLineDoesNothing(t *testing.T) {
+	// Directive two lines above the diagnostic: out of range.
+	_, s := parseForSuppress(t, `package p
+
+func f() int {
+	//lint:ignore detrand too far away
+
+	return 1
+}
+`)
+	out := s.apply([]Diagnostic{diag("detrand", 6)})
+	if out[0].Suppressed {
+		t.Fatal("directive two lines above must not suppress")
+	}
+}
+
+func TestSuppressMissingJustificationIgnored(t *testing.T) {
+	_, s := parseForSuppress(t, `package p
+
+func f() int {
+	return 1 //lint:ignore detrand
+}
+`)
+	out := s.apply([]Diagnostic{diag("detrand", 4)})
+	if out[0].Suppressed {
+		t.Fatal("directive without justification must suppress nothing")
+	}
+}
+
+func TestSuppressMultipleAnalyzersOneDirective(t *testing.T) {
+	_, s := parseForSuppress(t, `package p
+
+func f() int {
+	return 1 //lint:ignore detrand,floateq both rules misfire on this guard
+}
+`)
+	out := s.apply([]Diagnostic{
+		diag("detrand", 4),
+		diag("floateq", 4),
+		diag("parsafe", 4),
+	})
+	if !out[0].Suppressed || !out[1].Suppressed {
+		t.Fatal("comma list must cover every named analyzer")
+	}
+	if out[2].Suppressed {
+		t.Fatal("comma list must not cover an unnamed analyzer")
+	}
+}
+
+func TestSuppressWildcard(t *testing.T) {
+	_, s := parseForSuppress(t, `package p
+
+func f() int {
+	return 1 //lint:ignore * generated code, exempt wholesale
+}
+`)
+	out := s.apply([]Diagnostic{diag("ctxflow", 4), diag("pairok", 4)})
+	if !out[0].Suppressed || !out[1].Suppressed {
+		t.Fatal("wildcard must cover every analyzer")
+	}
+}
+
+func TestSuppressNonMatchingAnalyzer(t *testing.T) {
+	_, s := parseForSuppress(t, `package p
+
+func f() int {
+	return 1 //lint:ignore floateq not the analyzer that fired
+}
+`)
+	out := s.apply([]Diagnostic{diag("detrand", 4)})
+	if out[0].Suppressed {
+		t.Fatal("directive for another analyzer must not suppress")
+	}
+}
+
+func TestSuppressMalformedAnalyzerList(t *testing.T) {
+	// An uppercase "analyzer list" is really the first word of prose;
+	// the directive is malformed and must be dropped.
+	_, s := parseForSuppress(t, `package p
+
+func f() int {
+	return 1 //lint:ignore Because reasons
+}
+`)
+	out := s.apply([]Diagnostic{diag("detrand", 4)})
+	if out[0].Suppressed {
+		t.Fatal("malformed analyzer list must suppress nothing")
+	}
+}
+
+func TestParseDirectiveDanglingComma(t *testing.T) {
+	// A bare comma parses as an analyzer list with zero names; the
+	// directive must be rejected rather than treated as a wildcard.
+	if _, ok := parseDirective(", dangling comma"); ok {
+		t.Fatal("dangling-comma analyzer list must be rejected")
+	}
+}

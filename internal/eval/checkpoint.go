@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/circuit"
@@ -314,11 +315,6 @@ func sortedCases(done map[int]CaseResult) []int {
 	for i := range done {
 		out = append(out, i)
 	}
-	// Insertion sort: journals hold tens of cases.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out)
 	return out
 }

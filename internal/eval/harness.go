@@ -333,8 +333,11 @@ func runCase(ctx context.Context, c *circuit.Circuit, m *timing.Model, inj *defe
 	stop = st.Start("clk_select")
 	clk := 0.0
 	for _, tc := range tests {
-		tl := m.TimingLength(tc.Path.Arcs, cfg.ClkSamples, rng.Derive(caseSeed, 2)).Quantile(cfg.ClkQuantile)
-		if tl > clk {
+		emp, err := m.TimingLengthCtx(ctx, tc.Path.Arcs, cfg.ClkSamples, rng.Derive(caseSeed, 2), 0)
+		if err != nil {
+			return cs, err
+		}
+		if tl := emp.Quantile(cfg.ClkQuantile); tl > clk {
 			clk = tl
 		}
 	}

@@ -319,7 +319,7 @@ func (s *Server) Warmup(ctx context.Context) error {
 		if !validID(id) {
 			return fmt.Errorf("service: invalid preload id %q", id)
 		}
-		if _, err := s.cache.Get(id); err != nil {
+		if _, err := s.cache.GetCtx(ctx, id); err != nil {
 			return fmt.Errorf("service: preload %q: %w", id, err)
 		}
 	}
