@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-obs ci test race bench bench-core bench-serve smoke-serve smoke-resume chaos fuzz table1 figures ablate clean
+.PHONY: all build vet lint lint-self lint-obs ci accept test race bench bench-core bench-serve smoke-serve smoke-resume chaos fuzz table1 figures ablate clean
 
 all: build vet lint test
 
@@ -35,12 +35,21 @@ lint-obs:
 
 # ci is the pre-merge gate: build, vet, ddd-lint (full + self + the
 # obs layer), the full test suite under the race detector, the ddd-serve
-# end-to-end smoke, the kill-and-resume checkpoint smoke, and the
-# allocation budget of the dictionary build loop (steady-state
-# allocs must be independent of the Monte-Carlo sample count).
-ci: build lint lint-self lint-obs smoke-serve smoke-resume
+# end-to-end smoke, the kill-and-resume checkpoint smoke, the
+# analytic-engine acceptance gate, and the allocation budget of the
+# dictionary build loop (steady-state allocs must be independent of
+# the Monte-Carlo sample count).
+ci: build lint lint-self lint-obs smoke-serve smoke-resume accept
 	$(GO) test -race ./...
 	$(GO) test ./internal/core -run '^TestBuildDictionaryAllocBudget$$' -count=1
+
+# accept runs the analytic-vs-MC engine acceptance gate on its own:
+# rebuilds the precomputed dictionary under both engines and fails if
+# any tolerance in internal/eval/accept.go is exceeded (STA moments,
+# dictionary entries, top-1 diagnosis agreement). Also part of the
+# plain test suite via TestAnalyticEngineAcceptance.
+accept:
+	$(GO) test ./internal/eval -run '^TestAnalyticEngineAcceptance$$' -count=1 -v
 
 # smoke-serve boots ddd-serve on a random port with a generated test
 # dictionary, sends one diagnose request, asserts 200 + the expected
@@ -78,11 +87,13 @@ bench:
 # bench-core runs the tracked core kernel suite (bench_core_test.go)
 # single-threaded, three runs per benchmark, then folds the medians
 # against the committed baseline (benchmarks/core_baseline.txt) into
-# BENCH_core.json via cmd/ddd-bench. The -check gate fails the target
-# if the dictionary build has regressed below the recorded 1.5x
-# speedup over the pre-optimization baseline. Expect ~1 h wall clock:
-# the dictionary benchmark alone is ~9 s/op x 3 runs, and the baseline
-# was captured with the identical flags.
+# BENCH_core.json via cmd/ddd-bench. The -check gates fail the target
+# if the MC dictionary build regresses below its recorded 1.5x
+# speedup over the pre-optimization baseline, or the analytic build
+# drops below 10x over the MC build (its baseline lines carry the MC
+# numbers — see the comment in core_baseline.txt). Expect ~1 h wall
+# clock: the dictionary benchmark alone is ~9 s/op x 3 runs, and the
+# baseline was captured with the identical flags.
 bench-core:
 	$(GO) test -run '^$$' -bench '^BenchmarkCore' -benchmem -count 3 -cpu 1 -timeout 120m . \
 		| tee benchmarks/core_current.txt
@@ -90,7 +101,8 @@ bench-core:
 		-baseline benchmarks/core_baseline.txt \
 		-current benchmarks/core_current.txt \
 		-out BENCH_core.json \
-		-check BenchmarkCoreBuildDictionary:1.5
+		-check BenchmarkCoreBuildDictionary:1.5 \
+		-check BenchmarkCoreBuildDictionaryAnalytic:10
 
 # bench-serve measures the service's cache-hit diagnosis path and
 # snapshots the benchfmt-parseable output as the committed baseline

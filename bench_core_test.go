@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/synth"
 	"repro/internal/timing"
+	"repro/internal/timing/engine"
 )
 
 // benchCoreSeed roots all randomness of the core bench suite.
@@ -128,4 +130,40 @@ func BenchmarkCoreBuildDictionary(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cfg.Samples)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkCoreAnalyticSTA tracks the closed-form SSTA pass (Clark
+// moment-matched propagation, internal/timing/engine) on the same
+// s9234-class circuit the MC suite uses. Its baseline line in
+// benchmarks/core_baseline.txt is the MC engine's time for the same
+// answer (BenchmarkCoreMonteCarloSTA), so the BENCH_core.json speedup
+// reads as analytic-vs-Monte-Carlo.
+func BenchmarkCoreAnalyticSTA(b *testing.B) {
+	eng := engine.NewAnalytic(benchCoreModel(b))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.STA(ctx, 0, 0, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreBuildDictionaryAnalytic tracks dictionary construction
+// under the analytic engine — identical circuit, patterns, suspects
+// and clk as BenchmarkCoreBuildDictionary, Engine: "analytic". Its
+// committed baseline is the MC build's time, and `make bench-core`
+// gates on a 10x analytic-over-MC speedup.
+func BenchmarkCoreBuildDictionaryAnalytic(b *testing.B) {
+	m, pats, suspects, cfg := benchDictSetup(b)
+	cfg.Engine = "analytic"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildDictionary(m, pats, suspects, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pats)*len(suspects))*float64(b.N)/b.Elapsed().Seconds(), "sims/s")
 }

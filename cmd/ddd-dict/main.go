@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/defect"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/synth"
 	"repro/internal/timing"
+	tengine "repro/internal/timing/engine"
 )
 
 func main() {
@@ -67,12 +69,15 @@ func build(args []string) error {
 	samples := fs.Int("samples", 96, "Monte-Carlo samples")
 	maxSuspects := fs.Int("max-suspects", 400, "fault-universe cap")
 	workers := fs.Int("workers", 0, "dictionary-build worker goroutines (0 = NumCPU)")
+	engineName := fs.String("engine", "", "timing engine for clk selection and the dictionary (mc|analytic; default mc)")
 	_ = fs.Parse(args)
 
 	cfg := experimentConfig(*profile, *patterns, *samples)
 	// Parallelism never changes the built dictionary (per-sample streams
 	// derive from the sample index), so -workers is a resource knob only.
 	cfg.Workers = *workers
+	cfg.Engine = *engineName
+	start := time.Now()
 	sd, err := eval.BuildStatic(cfg, *maxSuspects)
 	if err != nil {
 		return err
@@ -83,8 +88,12 @@ func build(args []string) error {
 	if err := cd.SaveFileAtomic(*out, len(sd.C.Inputs)); err != nil {
 		return err
 	}
-	fmt.Printf("built %s: %d suspects, %d patterns, clk %.3f\n",
-		*out, len(cd.Suspects), len(cd.Patterns), cd.Clk)
+	eng := *engineName
+	if eng == "" {
+		eng = tengine.DefaultName
+	}
+	fmt.Printf("built %s: %d suspects, %d patterns, clk %.3f (engine %s, %v)\n",
+		*out, len(cd.Suspects), len(cd.Patterns), cd.Clk, eng, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("stored %d bytes (dense equivalent %d, %.0fx smaller)\n",
 		cd.Bytes(), cd.DenseBytes(), float64(cd.DenseBytes())/float64(cd.Bytes()+1))
 	return nil

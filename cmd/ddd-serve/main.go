@@ -59,6 +59,7 @@ func main() {
 	preload := flag.String("preload", "", "comma-separated dictionary ids to warm before ready, or \"all\"")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain budget")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	engineName := flag.String("engine", "", "timing engine the served dictionaries were built with (mc|analytic; shown in /stats)")
 	flag.Parse()
 
 	if *dicts == "" {
@@ -79,13 +80,14 @@ func main() {
 	if spec != "" {
 		log.Printf("fault injection armed: %s", spec)
 	}
-	if err := run(*addr, *dicts, *cacheMB, *shards, *workers, *queue, *batchWorkers, *timeout, *loadRetries, *preload, *grace, *pprofFlag); err != nil {
+	if err := run(*addr, *dicts, *cacheMB, *shards, *workers, *queue, *batchWorkers, *timeout, *loadRetries, *preload, *grace, *pprofFlag, *engineName); err != nil {
 		log.Fatalf("ddd-serve: %v", err)
 	}
 }
 
-func run(addr, dicts string, cacheMB int64, shards, workers, queue, batchWorkers int, timeout time.Duration, loadRetries int, preload string, grace time.Duration, enablePprof bool) error {
+func run(addr, dicts string, cacheMB int64, shards, workers, queue, batchWorkers int, timeout time.Duration, loadRetries int, preload string, grace time.Duration, enablePprof bool, engineName string) error {
 	cfg := service.Config{
+		Engine:         engineName,
 		Dir:            dicts,
 		CacheBytes:     cacheMB << 20,
 		CacheShards:    shards,

@@ -1,16 +1,19 @@
-// ddd-sta runs statistical static timing analysis on a circuit:
-// Monte-Carlo arrival-time distributions per primary output, the
-// circuit-delay distribution with quantiles, critical probabilities at
-// a given clock, and the Clark-approximation analytic estimate for
-// comparison.
+// ddd-sta runs statistical static timing analysis on a circuit
+// through a pluggable timing engine: arrival-time distributions per
+// primary output, the circuit-delay distribution with quantiles,
+// critical probabilities at a given clock, and per-arc statistical
+// criticality. -engine mc (default) samples Monte-Carlo instances;
+// -engine analytic answers in closed form (Clark moment matching,
+// DESIGN.md §14) in a fraction of the time.
 //
 // Usage:
 //
-//	ddd-sta -profile s1196 [-seed 2003] [-samples 2000] [-clk 25.0] [-workers N]
+//	ddd-sta -profile s1196 [-engine mc|analytic] [-seed 2003] [-samples 2000] [-clk 25.0] [-workers N]
 //	ddd-sta -bench circuit.bench
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +21,7 @@ import (
 
 	"repro"
 	"repro/internal/timing"
+	tengine "repro/internal/timing/engine"
 )
 
 func main() {
@@ -29,6 +33,7 @@ func main() {
 	workers := flag.Int("workers", 0, "Monte-Carlo worker goroutines (0 = NumCPU)")
 	clk := flag.Float64("clk", 0, "cut-off period for critical probabilities (0 = 95% quantile)")
 	top := flag.Int("top", 10, "outputs to list (slowest first)")
+	engineName := flag.String("engine", "", "timing engine (mc|analytic; default mc)")
 	flag.Parse()
 
 	c, err := loadCircuit(*benchFile, *profile, *seed)
@@ -37,10 +42,21 @@ func main() {
 		os.Exit(1)
 	}
 	m := repro.NewTimingModel(c, repro.DefaultTimingParams())
+	eng, err := tengine.New(*engineName, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddd-sta:", err)
+		os.Exit(1)
+	}
+	ctx := context.Background()
 	fmt.Printf("circuit %s: %s\n", c.Name, c.Stats())
+	fmt.Printf("engine: %s\n", eng.Name())
 	fmt.Printf("mean cell delay: %.4f\n\n", m.MeanCellDelay())
 
-	res := m.MonteCarloSTA(*samples, *mcSeed, *workers)
+	res, err := eng.STA(ctx, *samples, *mcSeed, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddd-sta:", err)
+		os.Exit(1)
+	}
 	cd := res.CircuitDelay
 	fmt.Printf("circuit delay Δ(C): mean=%.3f σ=%.3f\n", cd.Mean(), cd.Std())
 	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
@@ -78,7 +94,11 @@ func main() {
 
 	// Statistical criticality: which arcs actually carry the critical
 	// path once variation is accounted for.
-	cr := m.MonteCarloCriticality(*samples, *mcSeed, *workers)
+	cr, err := eng.Criticality(ctx, *samples, *mcSeed, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddd-sta:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("\nmost critical arcs (P(on critical path)):\n")
 	for _, a := range cr.Top(*top) {
 		arc := c.Arcs[a]

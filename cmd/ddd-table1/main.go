@@ -37,6 +37,7 @@ func main() {
 	patterns := flag.Int("patterns", 12, "max diagnostic patterns per case")
 	maxSuspects := flag.Int("max-suspects", 0, "cap on suspect-set size (0 = unlimited)")
 	workers := flag.Int("workers", 0, "dictionary-build worker goroutines (0 = NumCPU); never changes results")
+	engineName := flag.String("engine", "", "timing engine for clk selection and dictionaries (mc|analytic; default mc)")
 	quick := flag.Bool("quick", false, "reduced configuration for a fast smoke run")
 	verbose := flag.Bool("v", false, "per-case detail")
 	timings := flag.Bool("timings", false, "per-stage wall-time breakdown per circuit (stderr)")
@@ -68,6 +69,7 @@ func main() {
 		cfg.MaxPatterns = *patterns
 		cfg.MaxSuspects = *maxSuspects
 		cfg.Workers = *workers
+		cfg.Engine = *engineName
 		if *wideSize {
 			cfg.AssumedSizeFactor = [2]float64{0.25, 1.5}
 		}

@@ -23,7 +23,13 @@ type DictConfig struct {
 	// Clk is the cut-off period against which critical probabilities
 	// are defined (Definition D.6).
 	Clk float64
-	// Samples is the number of Monte-Carlo circuit instances.
+	// Engine selects the timing backend: "" or "mc" for the
+	// Monte-Carlo build (bit-identical to every dictionary built
+	// before the field existed), "analytic" for the closed-form SSTA
+	// build (see engine.Analytic.Signatures for its approximations).
+	Engine string
+	// Samples is the number of Monte-Carlo circuit instances; the
+	// analytic engine ignores it.
 	Samples int
 	// Seed roots all randomness (instances and candidate defect sizes).
 	Seed uint64
@@ -84,9 +90,6 @@ func BuildDictionaryCtx(ctx context.Context, m *timing.Model, patterns []logicsi
 	if len(suspects) == 0 {
 		return nil, fmt.Errorf("core: no suspects")
 	}
-	if cfg.Samples < 1 {
-		return nil, fmt.Errorf("core: Samples = %d", cfg.Samples)
-	}
 	if cfg.SizeDist == nil {
 		return nil, fmt.Errorf("core: SizeDist is required")
 	}
@@ -94,6 +97,17 @@ func BuildDictionaryCtx(ctx context.Context, m *timing.Model, patterns []logicsi
 		if err := tsim.CheckPair(c, p); err != nil {
 			return nil, err
 		}
+	}
+	switch cfg.Engine {
+	case "", "mc":
+		// Monte-Carlo build below.
+	case "analytic":
+		return buildDictionaryAnalytic(ctx, m, patterns, suspects, cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown engine %q", cfg.Engine)
+	}
+	if cfg.Samples < 1 {
+		return nil, fmt.Errorf("core: Samples = %d", cfg.Samples)
 	}
 	start := time.Now()
 	defer func() {

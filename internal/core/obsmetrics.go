@@ -10,13 +10,21 @@ import (
 // scrape and in ad-hoc profiling. Counting happens once per call
 // (bulk adds), never per sample, so the instrumentation cost is noise
 // against the simulation work it measures.
+// The dictionary-build counters carry a constant engine label so a
+// scrape distinguishes Monte-Carlo builds from analytic (closed-form
+// SSTA) builds; the samples counter exists only for the MC series — an
+// analytic build simulates no instances.
 var (
 	dictBuilds = obs.Default().Counter("ddd_core_dict_builds_total",
-		"fault dictionaries built", nil)
+		"fault dictionaries built", obs.Labels{"engine": "mc"})
+	dictBuildsAnalytic = obs.Default().Counter("ddd_core_dict_builds_total",
+		"fault dictionaries built", obs.Labels{"engine": "analytic"})
 	dictBuildSeconds = obs.Default().Counter("ddd_core_dict_build_seconds_total",
-		"wall time spent building fault dictionaries", nil)
+		"wall time spent building fault dictionaries", obs.Labels{"engine": "mc"})
+	dictBuildSecondsAnalytic = obs.Default().Counter("ddd_core_dict_build_seconds_total",
+		"wall time spent building fault dictionaries", obs.Labels{"engine": "analytic"})
 	dictBuildSamples = obs.Default().Counter("ddd_core_dict_build_samples_total",
-		"Monte-Carlo instance samples simulated into dictionaries", nil)
+		"Monte-Carlo instance samples simulated into dictionaries", obs.Labels{"engine": "mc"})
 	diagnoses = obs.Default().Counter("ddd_core_diagnoses_total",
 		"diagnosis rankings computed (all methods, plain and compressed)", nil)
 )

@@ -21,6 +21,13 @@ func stdNormCDF(x float64) float64 {
 
 // SumNormal returns the exact distribution of the sum of two jointly
 // normal variables with correlation rho.
+//
+// Contract: for |rho| <= 1 the variance a² + b² + 2ρab is nonnegative
+// by Cauchy-Schwarz, so the clamp below can only trigger on rounding
+// noise (or an out-of-range rho, which callers must not pass). The
+// clamp exists to keep math.Sqrt off negative epsilons — it never
+// silently rescues a semantically negative variance, and the result
+// is then the exact degenerate sum (Sigma = 0).
 func SumNormal(a, b Normal, rho float64) Normal {
 	v := a.Variance() + b.Variance() + 2*rho*a.Sigma*b.Sigma
 	if v < 0 {
@@ -32,16 +39,29 @@ func SumNormal(a, b Normal, rho float64) Normal {
 // MaxNormal returns Clark's moment-matched normal approximation of
 // max(A, B) for jointly normal A, B with correlation rho, along with
 // the tie probability P(A > B).
+//
+// Contract for the degenerate branch: theta² = Var(A−B) <= 0 means A
+// and B are (numerically) perfectly correlated with equal spread, so
+// A − B is the constant a.Mu − b.Mu and the max is whichever input
+// has the larger mean. The tie probability is then exactly 1 when
+// a.Mu > b.Mu, exactly 0 when a.Mu < b.Mu, and 1/2 at a.Mu == b.Mu —
+// the two inputs are the same random variable, and downstream
+// consumers (analytic criticality splits credit by tie probability)
+// need the symmetric answer rather than an arbitrary winner-takes-all
+// 1 or 0. The returned max distribution at the exact tie is `a`
+// (== `b` in distribution).
 func MaxNormal(a, b Normal, rho float64) (Normal, float64) {
 	va, vb := a.Variance(), b.Variance()
 	theta2 := va + vb - 2*rho*a.Sigma*b.Sigma
 	if theta2 <= 0 {
-		// A and B are (numerically) perfectly correlated with equal
-		// spread: the max is whichever has the larger mean.
-		if a.Mu >= b.Mu {
+		switch {
+		case a.Mu > b.Mu:
 			return a, 1
+		case a.Mu < b.Mu:
+			return b, 0
+		default:
+			return a, 0.5
 		}
-		return b, 0
 	}
 	theta := math.Sqrt(theta2)
 	alpha := (a.Mu - b.Mu) / theta

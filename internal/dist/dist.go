@@ -34,6 +34,23 @@ type Tail interface {
 	Exceed(x float64) float64
 }
 
+// Distribution is the read-only summary surface the diagnosis core
+// consumes from a timing engine: location, spread, quantiles and
+// exceedance (critical) probabilities. *Empirical (Monte-Carlo
+// engines) and Normal (analytic engines) both implement it, so code
+// that picks a cut-off period or reads a critical probability is
+// engine-agnostic.
+type Distribution interface {
+	// Mean returns the expected value.
+	Mean() float64
+	// Std returns the standard deviation.
+	Std() float64
+	// Quantile returns the q-quantile (0 <= q <= 1).
+	Quantile(q float64) float64
+	// Exceed returns P(X > x).
+	Exceed(x float64) float64
+}
+
 // PointMass is the degenerate distribution concentrated at V. Circuit
 // instances (Definition D.2) assign a PointMass to every arc.
 type PointMass struct{ V float64 }
@@ -72,6 +89,9 @@ func (n Normal) Mean() float64 { return n.Mu }
 // Variance returns Sigma².
 func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
 
+// Std returns Sigma.
+func (n Normal) Std() float64 { return n.Sigma }
+
 // Exceed returns P(X > x) via the complementary normal CDF.
 func (n Normal) Exceed(x float64) float64 {
 	if n.Sigma == 0 {
@@ -81,6 +101,22 @@ func (n Normal) Exceed(x float64) float64 {
 		return 0
 	}
 	return 0.5 * math.Erfc((x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// Quantile returns the q-quantile via the probit function. q <= 0 and
+// q >= 1 clamp to ∓Inf only for Sigma > 0; a degenerate normal
+// (Sigma == 0) returns Mu for every q, matching PointMass semantics.
+func (n Normal) Quantile(q float64) float64 {
+	if n.Sigma == 0 {
+		return n.Mu
+	}
+	switch {
+	case q <= 0:
+		return math.Inf(-1)
+	case q >= 1:
+		return math.Inf(1)
+	}
+	return n.Mu + n.Sigma*math.Sqrt2*math.Erfinv(2*q-1)
 }
 
 func (n Normal) String() string { return fmt.Sprintf("N(%g, %g²)", n.Mu, n.Sigma) }

@@ -1,0 +1,35 @@
+package eval
+
+import (
+	"context"
+	"testing"
+)
+
+// TestAnalyticEngineAcceptance is the acceptance gate for the analytic
+// timing engine: it rebuilds the precomputed dictionary under both
+// engines on the Table-I profiles and fails if any documented
+// tolerance (the Tol* constants) is exceeded — STA moments, dictionary
+// entries, or top-1 diagnosis agreement. Run it whenever the analytic
+// propagation or the waveform capture model changes.
+func TestAnalyticEngineAcceptance(t *testing.T) {
+	for _, circ := range []string{"mini", "small"} {
+		t.Run(circ, func(t *testing.T) {
+			ec, err := CompareEngines(context.Background(), DefaultConfig(circ), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: pats=%d sus=%d clk=%.3f | mean rel %.4f sigma rel %.4f | M mae=%.4f max=%.4f | S mae=%.4f max=%.4f | top1 %d exact, %d near of %d | build %.3fs mc vs %.5fs analytic (%.0fx)",
+				circ, ec.Patterns, ec.Suspects, ec.Clk,
+				ec.DelayMeanRelErr(), ec.DelaySigmaRelErr(),
+				ec.CritProbMAE, ec.CritProbMax, ec.SigMAE, ec.SigMax,
+				ec.Top1Agree, ec.Top1Near, ec.Top1Total,
+				ec.MCBuildSeconds, ec.AnalyticBuildSeconds, ec.Speedup())
+			if err := ec.Check(); err != nil {
+				t.Error(err)
+			}
+			if ec.Top1Total == 0 {
+				t.Error("no dies produced failures; the top-1 comparison is vacuous")
+			}
+		})
+	}
+}

@@ -137,6 +137,10 @@ func checkpointFingerprint(cfg Config) string {
 		ClkSamples        int           `json:"clk_samples"`
 		ClkQuantile       float64       `json:"clk_quantile"`
 		MaxSuspects       int           `json:"max_suspects"`
+		// Engine changes every clk and dictionary entry; omitempty
+		// keeps journals written before the field existed loadable
+		// under the default (Monte-Carlo) engine.
+		Engine            string        `json:"engine,omitempty"`
 		Timing            timing.Params `json:"timing"`
 		AssumedSize       string        `json:"assumed_size,omitempty"`
 		AssumedSizeFactor [2]float64    `json:"assumed_size_factor"`
@@ -150,6 +154,7 @@ func checkpointFingerprint(cfg Config) string {
 		ClkSamples:        cfg.ClkSamples,
 		ClkQuantile:       cfg.ClkQuantile,
 		MaxSuspects:       cfg.MaxSuspects,
+		Engine:            cfg.Engine,
 		Timing:            cfg.Timing,
 		AssumedSizeFactor: cfg.AssumedSizeFactor,
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/synth"
 	"repro/internal/timing"
+	tengine "repro/internal/timing/engine"
 	"repro/internal/tsim"
 )
 
@@ -38,6 +39,13 @@ type Config struct {
 	ClkQuantile float64 // quantile of the fault-free pattern response (e.g. 0.95)
 	Workers     int     // dictionary parallelism (0 = NumCPU)
 	MaxSuspects int     // cap on the suspect set (0 = unlimited)
+	// Engine selects the statistical timing backend for cut-off
+	// selection and dictionary construction: "" or "mc" runs the
+	// Monte-Carlo pipeline (bit-identical to every result before the
+	// field existed), "analytic" the closed-form SSTA engine. Defect
+	// injection and behavior simulation always use timed simulation —
+	// the ground truth is a die, not a model.
+	Engine string
 	// Timing overrides the statistical cell library (zero value =
 	// timing.DefaultParams()).
 	Timing timing.Params
@@ -264,6 +272,10 @@ func RunOnCircuitCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Circ
 		}
 	}
 	m := timing.NewModel(c, cfg.Timing)
+	eng, err := tengine.New(cfg.Engine, m)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
 	inj := defect.NewInjector(c, m.MeanCellDelay(), defect.DefaultParams())
 	res := &CircuitResult{Config: cfg, Stats: c.Stats(), Timings: obs.NewStages()}
 
@@ -281,7 +293,7 @@ func RunOnCircuitCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Circ
 		if cfg.CaseTimeout > 0 {
 			caseCtx, cancel = context.WithTimeout(ctx, cfg.CaseTimeout)
 		}
-		cs, err := runCase(caseCtx, c, m, inj, cfg, i, res.Timings)
+		cs, err := runCase(caseCtx, c, m, eng, inj, cfg, i, res.Timings)
 		cancel()
 		if err != nil {
 			return nil, fmt.Errorf("eval: case %d: %w", i, err)
@@ -296,7 +308,7 @@ func RunOnCircuitCtx(ctx context.Context, c *circuit.Circuit, cfg Config) (*Circ
 	return res, nil
 }
 
-func runCase(ctx context.Context, c *circuit.Circuit, m *timing.Model, inj *defect.Injector, cfg Config, i int, st *obs.Stages) (CaseResult, error) {
+func runCase(ctx context.Context, c *circuit.Circuit, m *timing.Model, eng timing.Engine, inj *defect.Injector, cfg Config, i int, st *obs.Stages) (CaseResult, error) {
 	if err := ctx.Err(); err != nil {
 		return CaseResult{}, err
 	}
@@ -333,12 +345,12 @@ func runCase(ctx context.Context, c *circuit.Circuit, m *timing.Model, inj *defe
 	stop = st.Start("clk_select")
 	clk := 0.0
 	for _, tc := range tests {
-		emp, err := m.TimingLengthCtx(ctx, tc.Path.Arcs, cfg.ClkSamples, rng.Derive(caseSeed, 2), 0)
+		tl, err := eng.TimingLength(ctx, tc.Path.Arcs, cfg.ClkSamples, rng.Derive(caseSeed, 2), 0)
 		if err != nil {
 			return cs, err
 		}
-		if tl := emp.Quantile(cfg.ClkQuantile); tl > clk {
-			clk = tl
+		if q := tl.Quantile(cfg.ClkQuantile); q > clk {
+			clk = q
 		}
 	}
 	cs.Clk = clk
@@ -381,6 +393,7 @@ func runCase(ctx context.Context, c *circuit.Circuit, m *timing.Model, inj *defe
 	stop = st.Start("dict_build")
 	dict, err := core.BuildDictionaryCtx(ctx, m, pats, suspects, core.DictConfig{
 		Clk:         clk,
+		Engine:      cfg.Engine,
 		Samples:     cfg.DictSamples,
 		Seed:        rng.Derive(caseSeed, 4),
 		Workers:     cfg.Workers,

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,11 +9,13 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/defect"
+	"repro/internal/dist"
 	"repro/internal/logicsim"
 	"repro/internal/path"
 	"repro/internal/rng"
 	"repro/internal/synth"
 	"repro/internal/timing"
+	tengine "repro/internal/timing/engine"
 )
 
 // The precomputed-dictionary workflow: the paper's effect-cause
@@ -74,11 +77,24 @@ func GlobalPatternSet(c *circuit.Circuit, m *timing.Model, maxPatterns int, seed
 	return tests
 }
 
-// BuildStatic precomputes the dictionary for a global pattern set: the
-// fault universe is every logic arc the pattern set statically
-// sensitizes toward any output (Sen(TP)), capped at maxSuspects by
-// dropping the arcs sensitized by the fewest patterns first.
-func BuildStatic(cfg Config, maxSuspects int) (*StaticDictionary, error) {
+// staticPrep is the engine-independent part of a precomputed
+// dictionary: the circuit, model, global pattern set, cut-off period,
+// suspect universe and assumed size distribution. The acceptance
+// harness (CompareEngines) reuses one prep to build dictionaries under
+// several engines over identical stimuli.
+type staticPrep struct {
+	C        *circuit.Circuit
+	Model    *timing.Model
+	Pats     []logicsim.PatternPair
+	Clk      float64
+	Suspects []circuit.ArcID
+	SizeDist dist.Dist
+}
+
+// prepareStatic runs everything of BuildStatic up to (but excluding)
+// the dictionary build, selecting clk with the engine named by
+// cfg.Engine.
+func prepareStatic(cfg Config, maxSuspects int) (*staticPrep, error) {
 	c, err := synth.GenerateNamed(cfg.Circuit, cfg.CircuitSeed)
 	if err != nil {
 		return nil, err
@@ -87,6 +103,10 @@ func BuildStatic(cfg Config, maxSuspects int) (*StaticDictionary, error) {
 		cfg.Timing = timing.DefaultParams()
 	}
 	m := timing.NewModel(c, cfg.Timing)
+	eng, err := tengine.New(cfg.Engine, m)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
 	tests := GlobalPatternSet(c, m, cfg.MaxPatterns, rng.Derive(cfg.Seed, 0x57a7))
 	if len(tests) == 0 {
 		return nil, fmt.Errorf("eval: no global patterns for %s", cfg.Circuit)
@@ -95,7 +115,11 @@ func BuildStatic(cfg Config, maxSuspects int) (*StaticDictionary, error) {
 	tls := make([]float64, len(tests))
 	for i, tc := range tests {
 		pats[i] = tc.Pair
-		tls[i] = m.TimingLength(tc.Path.Arcs, cfg.ClkSamples, rng.Derive(cfg.Seed, 0x57a8)).Quantile(cfg.ClkQuantile)
+		tl, err := eng.TimingLength(context.Background(), tc.Path.Arcs, cfg.ClkSamples, rng.Derive(cfg.Seed, 0x57a8), 0)
+		if err != nil {
+			return nil, err
+		}
+		tls[i] = tl.Quantile(cfg.ClkQuantile)
 	}
 	// One clk must serve every site this dictionary covers. Anchoring
 	// it to the longest tested path would give every shorter site more
@@ -135,18 +159,36 @@ func BuildStatic(cfg Config, maxSuspects int) (*StaticDictionary, error) {
 	sortArcs(suspects)
 
 	inj := defect.NewInjector(c, m.MeanCellDelay(), defect.DefaultParams())
-	dict, err := core.BuildDictionary(m, pats, suspects, core.DictConfig{
-		Clk:         clk,
+	return &staticPrep{
+		C: c, Model: m, Pats: pats, Clk: clk,
+		Suspects: suspects, SizeDist: inj.AssumedSizeDist(),
+	}, nil
+}
+
+// BuildStatic precomputes the dictionary for a global pattern set: the
+// fault universe is every logic arc the pattern set statically
+// sensitizes toward any output (Sen(TP)), capped at maxSuspects by
+// dropping the arcs sensitized by the fewest patterns first. The
+// cut-off period and the dictionary both come from the engine named by
+// cfg.Engine.
+func BuildStatic(cfg Config, maxSuspects int) (*StaticDictionary, error) {
+	p, err := prepareStatic(cfg, maxSuspects)
+	if err != nil {
+		return nil, err
+	}
+	dict, err := core.BuildDictionary(p.Model, p.Pats, p.Suspects, core.DictConfig{
+		Clk:         p.Clk,
+		Engine:      cfg.Engine,
 		Samples:     cfg.DictSamples,
 		Seed:        rng.Derive(cfg.Seed, 0x57a9),
 		Workers:     cfg.Workers,
 		Incremental: true,
-		SizeDist:    inj.AssumedSizeDist(),
+		SizeDist:    p.SizeDist,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &StaticDictionary{C: c, Model: m, Patterns: pats, Clk: clk, Dict: dict}, nil
+	return &StaticDictionary{C: p.C, Model: p.Model, Patterns: p.Pats, Clk: p.Clk, Dict: dict}, nil
 }
 
 func sortByCount(arcs []circuit.ArcID, count map[circuit.ArcID]int) {

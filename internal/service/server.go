@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/par"
+	"repro/internal/timing/engine"
 )
 
 // Fault injection sites (internal/fault). Disarmed they cost one
@@ -105,6 +106,13 @@ type Config struct {
 	// default: profiles expose internals and cost CPU, so the operator
 	// opts in (ddd-serve -pprof).
 	EnablePprof bool
+	// Engine names the timing backend this deployment builds its
+	// dictionaries with (engine.Names(); "" means the default). The
+	// service itself diagnoses against precomputed dictionaries and
+	// never runs timing, but operators correlate served results with
+	// build provenance, so the name is validated at startup and
+	// surfaced in /stats.
+	Engine string
 }
 
 func (cfg *Config) applyDefaults() {
@@ -125,6 +133,9 @@ func (cfg *Config) applyDefaults() {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = engine.DefaultName
 	}
 }
 
@@ -152,6 +163,9 @@ type Server struct {
 // dictionaries inside it are loaded lazily (or via Warmup).
 func New(cfg Config) (*Server, error) {
 	cfg.applyDefaults()
+	if !engine.Known(cfg.Engine) {
+		return nil, fmt.Errorf("service: unknown engine %q (have %v)", cfg.Engine, engine.Names())
+	}
 	fi, err := os.Stat(cfg.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("service: dictionary directory: %w", err)

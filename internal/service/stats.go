@@ -54,10 +54,13 @@ func (e *epStats) snapshot() EndpointStats {
 // counters in one plain-JSON snapshot (map keys marshal sorted, so the
 // document layout is stable scrape to scrape).
 type Stats struct {
-	Ready bool       `json:"ready"`
-	Cache CacheStats `json:"cache"`
-	Pool  PoolStats  `json:"pool"`
-	Batch BatchStats `json:"batch"`
+	Ready bool `json:"ready"`
+	// Engine is the configured timing backend name (build provenance
+	// for the served dictionaries; see Config.Engine).
+	Engine string     `json:"engine"`
+	Cache  CacheStats `json:"cache"`
+	Pool   PoolStats  `json:"pool"`
+	Batch  BatchStats `json:"batch"`
 	// Cancellations counts requests abandoned at their deadline or by
 	// client disconnect (mirrors ddd_cancellations_total).
 	Cancellations int64                    `json:"cancellations"`
@@ -72,6 +75,7 @@ func (s *Server) Stats() Stats {
 	}
 	return Stats{
 		Ready:         s.ready.Load(),
+		Engine:        s.cfg.Engine,
 		Cache:         s.cache.Stats(),
 		Pool:          s.pool.Stats(),
 		Batch:         s.batch.Stats(),

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/circuit"
+	"repro/internal/rng"
+	"repro/internal/synth"
+	"repro/internal/timing"
+)
+
+func synthModel(t testing.TB, profile string, seed uint64) *timing.Model {
+	t.Helper()
+	c, err := synth.GenerateNamed(profile, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return timing.NewModel(c, timing.DefaultParams())
+}
+
+func benchModel(t testing.TB, src, name string) *timing.Model {
+	t.Helper()
+	c, err := benchfmt.ParseString(src, name, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return timing.NewModel(c, timing.DefaultParams())
+}
+
+func TestRegistry(t *testing.T) {
+	if got := Names(); !reflect.DeepEqual(got, []string{"analytic", "mc"}) {
+		t.Fatalf("Names() = %v, want [analytic mc]", got)
+	}
+	for _, name := range []string{"", "mc", "analytic"} {
+		if !Known(name) {
+			t.Errorf("Known(%q) = false", name)
+		}
+	}
+	if Known("bogus") {
+		t.Error("Known(bogus) = true")
+	}
+	m := synthModel(t, "mini", 1)
+	eng, err := New("", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Name() != DefaultName {
+		t.Errorf("New(\"\").Name() = %q, want %q", eng.Name(), DefaultName)
+	}
+	if _, err := New("bogus", m); err == nil {
+		t.Fatal("New(bogus) succeeded")
+	}
+}
+
+// TestMCBitIdentity pins the MC engine to the underlying kernels: the
+// adapter must forward verbatim, so every statistic is bit-identical
+// to calling the Model methods directly.
+func TestMCBitIdentity(t *testing.T) {
+	m := synthModel(t, "small", 7)
+	eng := NewMC(m)
+	ctx := context.Background()
+	const n, seed = 2000, 42
+
+	sta, err := eng.STA(ctx, n, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := m.MonteCarloSTACtx(ctx, n, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sta.CircuitDelay.Mean() != ref.CircuitDelay.Mean() || sta.CircuitDelay.Std() != ref.CircuitDelay.Std() {
+		t.Error("STA circuit delay differs from MonteCarloSTACtx")
+	}
+	for i := range sta.Arrivals {
+		if sta.Arrivals[i].Quantile(0.9) != ref.Arrivals[i].Quantile(0.9) {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+
+	cr, err := eng.Criticality(ctx, n, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crRef, err := m.MonteCarloCriticalityCtx(ctx, n, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cr.Prob, crRef.Prob) {
+		t.Error("Criticality differs from MonteCarloCriticalityCtx")
+	}
+
+	arcs := longestStructuralPath(m)
+	tl, err := eng.TimingLength(ctx, arcs, n, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlRef, err := m.TimingLengthCtx(ctx, arcs, n, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Quantile(0.99) != tlRef.Quantile(0.99) {
+		t.Error("TimingLength differs from TimingLengthCtx")
+	}
+
+	clk, err := eng.SuggestClock(ctx, 0.99, n, rng.Derive(seed, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clkRef, err := m.SuggestClockCtx(ctx, 0.99, n, rng.Derive(seed, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clk != clkRef {
+		t.Errorf("SuggestClock %v != SuggestClockCtx %v", clk, clkRef)
+	}
+}
+
+// longestStructuralPath walks back from the first output along each
+// gate's nominally latest fan-in, collecting the arc sequence — a
+// convenient real path for TimingLength tests.
+func longestStructuralPath(m *timing.Model) []circuit.ArcID {
+	arr := m.ArrivalTimes(m.NominalInstance())
+	var arcs []circuit.ArcID
+	g := m.C.Outputs[0]
+	for len(m.C.Gates[g].Fanin) > 0 {
+		best := 0
+		for k, fi := range m.C.Gates[g].Fanin {
+			if arr[fi] > arr[m.C.Gates[g].Fanin[best]] {
+				best = k
+			}
+			_ = fi
+		}
+		arcs = append(arcs, m.C.Gates[g].InArcs[best])
+		g = m.C.Gates[g].Fanin[best]
+	}
+	// Reverse into launch-to-capture order (TimingLength is
+	// order-independent, but paths read better forward).
+	for i, j := 0, len(arcs)-1; i < j; i, j = i+1, j-1 {
+		arcs[i], arcs[j] = arcs[j], arcs[i]
+	}
+	return arcs
+}

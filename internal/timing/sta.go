@@ -254,6 +254,20 @@ const quantileSeed = 0x51a9
 // distribution — the natural way to pick the cut-off period clk for an
 // experiment (e.g. q = 0.95 puts 5 % of defect-free dies over clk).
 func (m *Model) SuggestClock(q float64, nSamples int, seed uint64) float64 {
-	res := m.MonteCarloSTA(nSamples, rng.Derive(seed, quantileSeed), 0)
-	return res.CircuitDelay.Quantile(q)
+	clk, _ := m.SuggestClockCtx(context.Background(), q, nSamples, seed, 0)
+	return clk
+}
+
+// SuggestClockCtx is SuggestClock with cooperative cancellation and an
+// explicit worker bound, threading ctx into the underlying Monte-Carlo
+// STA run (which checks it between sample blocks). A cancelled run
+// returns (0, ctx.Err()). The sub-stream derivation (quantileSeed) is
+// identical to SuggestClock's, so both produce bit-identical clocks
+// from the same seed.
+func (m *Model) SuggestClockCtx(ctx context.Context, q float64, nSamples int, seed uint64, workers int) (float64, error) {
+	res, err := m.MonteCarloSTACtx(ctx, nSamples, rng.Derive(seed, quantileSeed), workers)
+	if err != nil {
+		return 0, err
+	}
+	return res.CircuitDelay.Quantile(q), nil
 }
