@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-obs ci accept test race bench bench-core bench-serve smoke-serve smoke-resume chaos fuzz table1 figures ablate clean
+.PHONY: all build vet lint lint-self lint-obs ci accept test race bench bench-core bench-serve smoke-serve smoke-router smoke-resume loadtest chaos fuzz table1 figures ablate clean
 
 all: build vet lint test
 
@@ -35,11 +35,12 @@ lint-obs:
 
 # ci is the pre-merge gate: build, vet, ddd-lint (full + self + the
 # obs layer), the full test suite under the race detector, the ddd-serve
-# end-to-end smoke, the kill-and-resume checkpoint smoke, the
-# analytic-engine acceptance gate, and the allocation budget of the
-# dictionary build loop (steady-state allocs must be independent of
-# the Monte-Carlo sample count).
-ci: build lint lint-self lint-obs smoke-serve smoke-resume accept
+# end-to-end smoke, the router-tier smoke, the loadgen SLO gate, the
+# kill-and-resume checkpoint smoke, the analytic-engine acceptance
+# gate, and the allocation budget of the dictionary build loop
+# (steady-state allocs must be independent of the Monte-Carlo sample
+# count).
+ci: build lint lint-self lint-obs smoke-serve smoke-router loadtest smoke-resume accept
 	$(GO) test -race ./...
 	$(GO) test ./internal/core -run '^TestBuildDictionaryAllocBudget$$' -count=1
 
@@ -58,6 +59,20 @@ accept:
 # shuts down gracefully.
 smoke-serve:
 	$(GO) test ./internal/service -run '^TestSmokeServe$$' -count=1 -v
+
+# smoke-router boots two replicas plus the router on real listeners,
+# asserts aggregate readiness, a routed diagnosis with the expected
+# top-1 arc, an admin-triggered snapshot transfer between replicas,
+# and the router's /metrics and /stats surfaces.
+smoke-router:
+	$(GO) test ./internal/service -run '^TestSmokeRouter$$' -count=1 -v
+
+# loadtest replays the deterministic ddd-loadgen mix (hot-dictionary
+# skew, batch and malformed traffic) against a live server and gates
+# on the SLO report: zero transport errors, 400 for every malformed
+# request, 200 for everything else, and the RPS/p99 floor.
+loadtest:
+	$(GO) test ./cmd/ddd-loadgen -run '^TestLoadtestSLO$$' -count=1 -v
 
 # smoke-resume builds ddd-table1, SIGKILLs a checkpointed run
 # mid-journal, resumes it, and byte-compares the final table against
@@ -104,12 +119,20 @@ bench-core:
 		-check BenchmarkCoreBuildDictionary:1.5 \
 		-check BenchmarkCoreBuildDictionaryAnalytic:10
 
-# bench-serve measures the service's cache-hit diagnosis path and
-# snapshots the benchfmt-parseable output as the committed baseline
-# (benchmarks/serve_baseline.txt).
+# bench-serve measures the service's cache-hit diagnosis path — both
+# the single-node handler stack and the routed path through the
+# sharded tier's front door (ring lookup + forward + relay) — and
+# folds the medians against the committed baseline
+# (benchmarks/serve_baseline.txt) into BENCH_serve.json via
+# cmd/ddd-bench, so serve-tier numbers are tracked in git alongside
+# the core kernels.
 bench-serve:
-	$(GO) test ./internal/service -run '^$$' -bench BenchmarkServeDiagnose -benchmem -count 3 \
-		| tee benchmarks/serve_baseline.txt
+	$(GO) test ./internal/service -run '^$$' -bench '^BenchmarkServe' -benchmem -count 3 \
+		| tee benchmarks/serve_current.txt
+	$(GO) run ./cmd/ddd-bench \
+		-baseline benchmarks/serve_baseline.txt \
+		-current benchmarks/serve_current.txt \
+		-out BENCH_serve.json
 
 fuzz:
 	$(GO) test ./internal/benchfmt -fuzz=FuzzParse -fuzztime 30s

@@ -1,0 +1,413 @@
+// ddd-loadgen is the deterministic traffic generator for ddd-serve
+// (single node or router): it replays a realistic request mix —
+// hot-dictionary skew, batch vs single diagnoses, a sprinkle of
+// malformed bodies — and gates on latency-percentile SLOs.
+//
+// Determinism: the full request plan (which client sends which body
+// in which order) is a pure function of -seed, the discovered
+// dictionary list, and the mix flags; two runs with the same seed
+// against the same server replay byte-identical request streams.
+// Only the measured latencies differ run to run — which is the
+// point: the traffic is reproducible, the timing is the experiment.
+//
+// Usage:
+//
+//	ddd-serve -dicts dicts &
+//	ddd-loadgen -target http://localhost:8344 -requests 2000 -clients 8 \
+//	    [-seed 1] [-hot-skew 0.7] [-mix single:0.8,batch:0.15,malformed:0.05] \
+//	    [-slo-rps 50] [-slo-p99 250ms]
+//
+// The report is one JSON document on stdout (percentiles are exact,
+// via obs.Reservoir, not bucket-interpolated). A violated SLO exits
+// nonzero — `make loadtest` uses that as its gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+func main() {
+	target := flag.String("target", "", "base URL of ddd-serve or the router (required)")
+	requests := flag.Int("requests", 1000, "total requests across all clients")
+	clients := flag.Int("clients", 8, "concurrent clients")
+	seed := flag.Uint64("seed", 1, "plan seed: same seed, same request stream")
+	dicts := flag.String("dicts", "", "comma-separated dictionary ids (default: discover via /v1/dicts)")
+	hotSkew := flag.Float64("hot-skew", 0.7, "probability a request targets the hottest dictionary")
+	mix := flag.String("mix", "single:0.8,batch:0.15,malformed:0.05", "traffic class weights")
+	sloRPS := flag.Float64("slo-rps", 0, "minimum sustained requests/second (0 = no gate)")
+	sloP99 := flag.Duration("slo-p99", 0, "maximum p99 latency (0 = no gate)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "ddd-loadgen: -target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := genConfig{
+		Target:   strings.TrimRight(*target, "/"),
+		Requests: *requests,
+		Clients:  *clients,
+		Seed:     *seed,
+		HotSkew:  *hotSkew,
+		SLORPS:   *sloRPS,
+		SLOP99:   *sloP99,
+		Timeout:  *timeout,
+	}
+	var err error
+	if cfg.Mix, err = parseMix(*mix); err != nil {
+		log.Fatalf("ddd-loadgen: %v", err)
+	}
+	if *dicts != "" {
+		cfg.Dicts = strings.Split(*dicts, ",")
+	}
+	report, err := runLoad(cfg)
+	if err != nil {
+		log.Fatalf("ddd-loadgen: %v", err)
+	}
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("ddd-loadgen: %v", err)
+	}
+	fmt.Println(string(out))
+	if !report.SLO.Pass {
+		os.Exit(1)
+	}
+}
+
+// classMix is the traffic class weights, normalized to sum 1.
+type classMix struct {
+	Single, Batch, Malformed float64
+}
+
+func parseMix(s string) (classMix, error) {
+	var m classMix
+	total := 0.0
+	for _, clause := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(clause), ":")
+		if !ok {
+			return m, fmt.Errorf("mix clause %q: want class:weight", clause)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("mix clause %q: bad weight", clause)
+		}
+		switch name {
+		case "single":
+			m.Single = w
+		case "batch":
+			m.Batch = w
+		case "malformed":
+			m.Malformed = w
+		default:
+			return m, fmt.Errorf("mix clause %q: unknown class", clause)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return m, fmt.Errorf("mix %q: weights sum to zero", s)
+	}
+	m.Single /= total
+	m.Batch /= total
+	m.Malformed /= total
+	return m, nil
+}
+
+// genConfig parameterizes one load run.
+type genConfig struct {
+	Target   string
+	Requests int
+	Clients  int
+	Seed     uint64
+	Dicts    []string // empty = discover
+	HotSkew  float64
+	Mix      classMix
+	SLORPS   float64
+	SLOP99   time.Duration
+	Timeout  time.Duration
+}
+
+// dictShape is what the plan needs to fabricate a valid behavior
+// matrix for a dictionary: its output (row) and pattern (column)
+// counts, fetched once from /v1/dicts/{id}.
+type dictShape struct {
+	Outputs  int
+	Patterns int
+}
+
+// plannedRequest is one deterministic request of the plan.
+type plannedRequest struct {
+	Class string // "single" | "batch" | "malformed"
+	Path  string
+	Body  []byte
+}
+
+// genReport is the run summary printed to stdout.
+type genReport struct {
+	Target    string         `json:"target"`
+	Seed      uint64         `json:"seed"`
+	Requests  int            `json:"requests"`
+	Clients   int            `json:"clients"`
+	Classes   map[string]int `json:"classes"`
+	Statuses  map[string]int `json:"statuses"`
+	Transport int            `json:"transport_errors"`
+	WallS     float64        `json:"wall_s"`
+	RPS       float64        `json:"rps"`
+	P50Ms     float64        `json:"p50_ms"`
+	P95Ms     float64        `json:"p95_ms"`
+	P99Ms     float64        `json:"p99_ms"`
+	MaxMs     float64        `json:"max_ms"`
+	SLO       sloReport      `json:"slo"`
+}
+
+type sloReport struct {
+	MinRPS  float64 `json:"min_rps"`
+	MaxP99S float64 `json:"max_p99_s"`
+	Pass    bool    `json:"pass"`
+}
+
+// discoverDicts lists the served dictionaries (sorted by the server,
+// which keeps the plan deterministic for a fixed deployment).
+func discoverDicts(client *http.Client, target string) ([]string, error) {
+	resp, err := client.Get(target + "/v1/dicts")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/dicts: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Dicts []struct {
+			ID string `json:"id"`
+		} `json:"dicts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("GET /v1/dicts: %w", err)
+	}
+	ids := make([]string, len(doc.Dicts))
+	for i, d := range doc.Dicts {
+		ids[i] = d.ID
+	}
+	return ids, nil
+}
+
+func fetchShape(client *http.Client, target, id string) (dictShape, error) {
+	resp, err := client.Get(target + "/v1/dicts/" + id)
+	if err != nil {
+		return dictShape{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dictShape{}, fmt.Errorf("GET /v1/dicts/%s: status %d", id, resp.StatusCode)
+	}
+	var doc struct {
+		Outputs  int `json:"outputs"`
+		Patterns int `json:"patterns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return dictShape{}, fmt.Errorf("GET /v1/dicts/%s: %w", id, err)
+	}
+	return dictShape{Outputs: doc.Outputs, Patterns: doc.Patterns}, nil
+}
+
+// malformedBodies is the fixed malformed-request repertoire: truncated
+// JSON, an unknown field, a bad dictionary id, and a shape mismatch.
+// All must answer 400 — a malformed body that crashes or hangs the
+// server is exactly what this class exists to catch.
+var malformedBodies = []string{
+	`{"dict":`,
+	`{"dict":"alpha","zzz":true,"behavior":["0"]}`,
+	`{"dict":"../etc/passwd","behavior":["0"]}`,
+	`{"dict":"%s","behavior":["010101"]}`,
+}
+
+// buildPlan lays out every client's request sequence. Pure function
+// of (cfg, dicts, shapes): client c's stream derives from
+// rng.DeriveN(seed, c), so plans replay identically and clients stay
+// decorrelated.
+func buildPlan(cfg genConfig, dicts []string, shapes map[string]dictShape) [][]plannedRequest {
+	perClient := cfg.Requests / cfg.Clients
+	extra := cfg.Requests % cfg.Clients
+	plan := make([][]plannedRequest, cfg.Clients)
+	for c := 0; c < cfg.Clients; c++ {
+		n := perClient
+		if c < extra {
+			n++
+		}
+		r := rng.New(rng.DeriveN(cfg.Seed, 0x10ad, uint64(c)))
+		reqs := make([]plannedRequest, 0, n)
+		for i := 0; i < n; i++ {
+			pickDict := func() string {
+				if len(dicts) == 1 || r.Float64() < cfg.HotSkew {
+					return dicts[0]
+				}
+				return dicts[1+r.IntN(len(dicts)-1)]
+			}
+			u := r.Float64()
+			switch {
+			case u < cfg.Mix.Malformed:
+				body := malformedBodies[r.IntN(len(malformedBodies))]
+				if strings.Contains(body, "%s") {
+					body = fmt.Sprintf(body, pickDict())
+				}
+				reqs = append(reqs, plannedRequest{Class: "malformed", Path: "/v1/diagnose", Body: []byte(body)})
+			case u < cfg.Mix.Malformed+cfg.Mix.Batch:
+				items := make([]string, 2+r.IntN(4))
+				for k := range items {
+					id := pickDict()
+					items[k] = singleBody(r, id, shapes[id])
+				}
+				reqs = append(reqs, plannedRequest{
+					Class: "batch",
+					Path:  "/v1/diagnose/batch",
+					Body:  []byte(`{"requests":[` + strings.Join(items, ",") + `]}`),
+				})
+			default:
+				id := pickDict()
+				reqs = append(reqs, plannedRequest{Class: "single", Path: "/v1/diagnose", Body: []byte(singleBody(r, id, shapes[id]))})
+			}
+		}
+		plan[c] = reqs
+	}
+	return plan
+}
+
+// singleBody fabricates one diagnosis request: a random 0-1 behavior
+// matrix of the dictionary's exact shape. Any such matrix is a valid
+// observation; the server's answer quality is irrelevant to load.
+func singleBody(r *rand.Rand, id string, sh dictShape) string {
+	rows := make([]string, sh.Outputs)
+	var sb strings.Builder
+	for i := range rows {
+		sb.Reset()
+		for j := 0; j < sh.Patterns; j++ {
+			if r.Uint64()&1 == 1 {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		rows[i] = sb.String()
+	}
+	body, _ := json.Marshal(struct {
+		Dict     string   `json:"dict"`
+		K        int      `json:"k"`
+		Behavior []string `json:"behavior"`
+	}{id, 1 + r.IntN(5), rows})
+	return string(body)
+}
+
+// runLoad discovers the serving surface, builds the plan, replays it
+// with cfg.Clients concurrent clients, and folds the latencies into
+// the SLO report.
+func runLoad(cfg genConfig) (*genReport, error) {
+	if cfg.Requests < 1 || cfg.Clients < 1 {
+		return nil, fmt.Errorf("requests (%d) and clients (%d) must be positive", cfg.Requests, cfg.Clients)
+	}
+	if cfg.Clients > cfg.Requests {
+		cfg.Clients = cfg.Requests
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+	dicts := cfg.Dicts
+	if len(dicts) == 0 {
+		var err error
+		if dicts, err = discoverDicts(client, cfg.Target); err != nil {
+			return nil, err
+		}
+	}
+	if len(dicts) == 0 {
+		return nil, fmt.Errorf("no dictionaries served at %s", cfg.Target)
+	}
+	sort.Strings(dicts)
+	shapes := make(map[string]dictShape, len(dicts))
+	for _, id := range dicts {
+		sh, err := fetchShape(client, cfg.Target, id)
+		if err != nil {
+			return nil, err
+		}
+		shapes[id] = sh
+	}
+	plan := buildPlan(cfg, dicts, shapes)
+
+	lat := obs.NewReservoir()
+	var mu sync.Mutex
+	statuses := make(map[string]int)
+	classes := make(map[string]int)
+	transport := 0
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := range plan {
+		wg.Add(1)
+		go func(reqs []plannedRequest) {
+			defer wg.Done()
+			for _, pr := range reqs {
+				t0 := time.Now()
+				resp, err := client.Post(cfg.Target+pr.Path, "application/json", bytes.NewReader(pr.Body))
+				var status string
+				if err != nil {
+					status = "error"
+				} else {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					status = strconv.Itoa(resp.StatusCode)
+				}
+				lat.Observe(time.Since(t0).Seconds())
+				mu.Lock()
+				classes[pr.Class]++
+				if status == "error" {
+					transport++
+				} else {
+					statuses[status]++
+				}
+				mu.Unlock()
+			}
+		}(plan[c])
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	rep := &genReport{
+		Target:    cfg.Target,
+		Seed:      cfg.Seed,
+		Requests:  cfg.Requests,
+		Clients:   cfg.Clients,
+		Classes:   classes,
+		Statuses:  statuses,
+		Transport: transport,
+		WallS:     wall,
+		RPS:       float64(cfg.Requests) / wall,
+		P50Ms:     lat.Quantile(0.50) * 1e3,
+		P95Ms:     lat.Quantile(0.95) * 1e3,
+		P99Ms:     lat.Quantile(0.99) * 1e3,
+		MaxMs:     lat.Quantile(1) * 1e3,
+	}
+	rep.SLO = sloReport{MinRPS: cfg.SLORPS, MaxP99S: cfg.SLOP99.Seconds(), Pass: true}
+	if cfg.SLORPS > 0 && rep.RPS < cfg.SLORPS {
+		rep.SLO.Pass = false
+	}
+	if cfg.SLOP99 > 0 && lat.Quantile(0.99) > cfg.SLOP99.Seconds() {
+		rep.SLO.Pass = false
+	}
+	if transport > 0 {
+		rep.SLO.Pass = false
+	}
+	return rep, nil
+}

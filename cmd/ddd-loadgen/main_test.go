@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/service"
+)
+
+// writeLoadDicts builds two tiny compressed dictionaries ("alpha",
+// "beta") into a fresh directory — the minimum serving surface the
+// generator needs: a hot dictionary and a cold one.
+func writeLoadDicts(tb testing.TB) string {
+	tb.Helper()
+	dir := tb.TempDir()
+	for id, seed := range map[string]uint64{"alpha": 11, "beta": 23} {
+		cfg := eval.DefaultConfig("mini")
+		cfg.Seed = seed
+		cfg.MaxPatterns = 6
+		cfg.DictSamples = 24
+		cfg.ClkSamples = 50
+		sd, err := eval.BuildStatic(cfg, 60)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := core.Compress(sd.Dict).Save(&buf, len(sd.C.Inputs)); err != nil {
+			tb.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, id+".dict"), buf.Bytes(), 0o644); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func startLoadTarget(tb testing.TB) string {
+	tb.Helper()
+	s, err := service.New(service.Config{
+		Dir:            writeLoadDicts(tb),
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(func() {
+		ts.Close()
+		_ = s.Shutdown(context.Background())
+	})
+	return ts.URL
+}
+
+func testMix(tb testing.TB) classMix {
+	tb.Helper()
+	m, err := parseMix("single:0.8,batch:0.15,malformed:0.05")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// TestPlanDeterminism: the plan is a pure function of the seed — two
+// builds replay byte-identical streams, a different seed does not, and
+// the hot-skew knob actually skews traffic toward the hot dictionary.
+func TestPlanDeterminism(t *testing.T) {
+	dicts := []string{"alpha", "beta"}
+	shapes := map[string]dictShape{
+		"alpha": {Outputs: 3, Patterns: 6},
+		"beta":  {Outputs: 3, Patterns: 6},
+	}
+	cfg := genConfig{
+		Requests: 400,
+		Clients:  4,
+		Seed:     42,
+		HotSkew:  0.7,
+		Mix:      testMix(t),
+	}
+	a := buildPlan(cfg, dicts, shapes)
+	b := buildPlan(cfg, dicts, shapes)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	cfg.Seed = 43
+	c := buildPlan(cfg, dicts, shapes)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+
+	hot, cold := 0, 0
+	for _, client := range a {
+		for _, pr := range client {
+			if bytes.Contains(pr.Body, []byte(`"dict":"alpha"`)) {
+				hot++
+			}
+			if bytes.Contains(pr.Body, []byte(`"dict":"beta"`)) {
+				cold++
+			}
+		}
+	}
+	if hot <= cold {
+		t.Fatalf("hot-skew 0.7 did not skew: alpha in %d plans, beta in %d", hot, cold)
+	}
+}
+
+// TestLoadtestSLO is the `make loadtest` gate: replay the default mix
+// against a real server and hold lenient SLOs that any functioning
+// build clears. Every malformed request must answer 400 and every
+// well-formed one 200 — a 5xx or transport error anywhere fails the
+// gate.
+func TestLoadtestSLO(t *testing.T) {
+	target := startLoadTarget(t)
+
+	// Guard against a degenerate fixture where the shape-mismatch
+	// malformed body would accidentally be well-formed.
+	sh, err := fetchShape(&http.Client{Timeout: 10 * time.Second}, target, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Outputs == 1 && sh.Patterns == 6 {
+		t.Fatal("fixture dictionary shape collides with the malformed template")
+	}
+
+	cfg := genConfig{
+		Target:   target,
+		Requests: 150,
+		Clients:  6,
+		Seed:     1,
+		HotSkew:  0.7,
+		Mix:      testMix(t),
+		SLORPS:   1,
+		SLOP99:   20 * time.Second,
+		Timeout:  30 * time.Second,
+	}
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transport != 0 {
+		t.Fatalf("transport errors: %d", rep.Transport)
+	}
+	if got := rep.Statuses["400"]; got != rep.Classes["malformed"] {
+		t.Fatalf("400s = %d, want one per malformed request (%d); statuses %v",
+			got, rep.Classes["malformed"], rep.Statuses)
+	}
+	wantOK := rep.Classes["single"] + rep.Classes["batch"]
+	if got := rep.Statuses["200"]; got != wantOK {
+		t.Fatalf("200s = %d, want %d (single %d + batch %d); statuses %v",
+			got, wantOK, rep.Classes["single"], rep.Classes["batch"], rep.Statuses)
+	}
+	total := 0
+	for _, n := range rep.Classes {
+		total += n
+	}
+	if total != cfg.Requests {
+		t.Fatalf("planned %d requests, executed %d", cfg.Requests, total)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("SLO gate failed: rps %.1f (min %.1f), p99 %.1fms (max %.0fms)",
+			rep.RPS, rep.SLO.MinRPS, rep.P99Ms, rep.SLO.MaxP99S*1e3)
+	}
+}

@@ -27,6 +27,15 @@
 // wins when both are set. -load-retries bounds transparent retries of
 // failed dictionary loads (capped exponential backoff, deterministic
 // jitter); not-found is never retried.
+//
+// Router mode: -router with a comma-separated replica list turns the
+// process into the sharded serving tier's front door instead of a
+// replica — consistent-hash dictionary placement, hedged failover
+// (-hedge-after, -max-hedges), and snapshot transfer between
+// replicas (POST /v1/admin/transfer). See DESIGN.md §15.
+//
+//	ddd-serve -router http://127.0.0.1:8345,http://127.0.0.1:8346 \
+//	    [-addr :8344] [-hedge-after 30ms] [-max-hedges 1] [-vnodes 64]
 package main
 
 import (
@@ -60,10 +69,20 @@ func main() {
 	grace := flag.Duration("grace", 15*time.Second, "shutdown drain budget")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	engineName := flag.String("engine", "", "timing engine the served dictionaries were built with (mc|analytic; shown in /stats)")
+	router := flag.String("router", "", "run as a router over this comma-separated replica URL list instead of serving dictionaries")
+	hedgeAfter := flag.Duration("hedge-after", 30*time.Millisecond, "router: latency budget before hedging to the next replica on the ring")
+	maxHedges := flag.Int("max-hedges", 1, "router: extra attempts beyond the first (0 disables hedging)")
+	vnodes := flag.Int("vnodes", 0, "router: virtual nodes per replica on the placement ring (0 = default 64)")
 	flag.Parse()
 
+	if *router != "" {
+		if err := runRouter(*addr, *router, *hedgeAfter, *maxHedges, *vnodes, *timeout, *grace); err != nil {
+			log.Fatalf("ddd-serve: %v", err)
+		}
+		return
+	}
 	if *dicts == "" {
-		fmt.Fprintln(os.Stderr, "ddd-serve: -dicts is required")
+		fmt.Fprintln(os.Stderr, "ddd-serve: -dicts is required (or -router for router mode)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -142,6 +161,32 @@ func shutdown(srv *service.Server, grace time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	return srv.Shutdown(ctx)
+}
+
+// runRouter runs the process as the sharded tier's router until
+// SIGINT/SIGTERM.
+func runRouter(addr, replicas string, hedgeAfter time.Duration, maxHedges, vnodes int, timeout, grace time.Duration) error {
+	rt, err := service.NewRouter(service.RouterConfig{
+		Replicas:       strings.Split(replicas, ","),
+		VNodes:         vnodes,
+		HedgeAfter:     hedgeAfter,
+		MaxHedges:      maxHedges,
+		RequestTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Start(addr); err != nil {
+		return err
+	}
+	log.Printf("routing on %s over %v (hedge after %v, max %d)", rt.Addr(), rt.Ring().Replicas(), hedgeAfter, maxHedges)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down router")
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return rt.Shutdown(ctx)
 }
 
 // preloadList expands the -preload flag: empty, "all" (every *.dict in

@@ -48,7 +48,71 @@ func (r *CoverageResult) Fraction() float64 {
 // ArcCoverage computes which logic arcs the pattern set statically
 // sensitizes toward any output, with the cumulative curve per pattern
 // (the classic fault-coverage curve, over segments).
+//
+// The production path is word-parallel: pattern pairs are packed 64 to
+// a machine word (logicsim.PackVectors), both vectors are evaluated
+// with the allocation-free EvalWordsInto kernel, and sensitization
+// masks are accumulated per arc with SensitizedArcsWordsInto — one
+// simulation sweep covers 64 patterns. The scalar walk survives as
+// arcCoverageScalar, the bit-exact oracle the equivalence tests pin
+// this kernel against.
 func ArcCoverage(c *circuit.Circuit, pats []logicsim.PatternPair) *CoverageResult {
+	res := newCoverageResult(c)
+	nGates := len(c.Gates)
+	initVals := make([]uint64, nGates)
+	finalVals := make([]uint64, nGates)
+	active := make([]uint64, nGates)
+	arcMasks := make([]uint64, len(c.Arcs))
+	v1s := make([]logicsim.Vector, 0, 64)
+	v2s := make([]logicsim.Vector, 0, 64)
+	for start := 0; start < len(pats); start += 64 {
+		block := pats[start:min(start+64, len(pats))]
+		v1s, v2s = v1s[:0], v2s[:0]
+		for _, p := range block {
+			v1s = append(v1s, p.V1)
+			v2s = append(v2s, p.V2)
+		}
+		in1, err := logicsim.PackVectors(c, v1s)
+		if err != nil {
+			// A width-mismatched pattern is a programmer error, exactly
+			// as it was for the scalar path's Eval panic.
+			panic(err)
+		}
+		in2, err := logicsim.PackVectors(c, v2s)
+		if err != nil {
+			panic(err)
+		}
+		initVals = logicsim.EvalWordsInto(initVals, c, in1)
+		finalVals = logicsim.EvalWordsInto(finalVals, c, in2)
+		for i := range arcMasks {
+			arcMasks[i] = 0
+		}
+		for oi := range c.Outputs {
+			logicsim.SensitizedArcsWordsInto(arcMasks, active, c, initVals, finalVals, oi)
+		}
+		// Unpack lanes in pattern order so PerPattern reproduces the
+		// scalar cumulative curve exactly. Unused tail lanes pack
+		// all-zero vectors on both sides, so their mask bits are zero by
+		// construction (see PackVectors' ragged-tail contract); the loop
+		// bound masks them regardless.
+		for b := range block {
+			for aid, w := range arcMasks {
+				if w>>uint(b)&1 == 0 || c.Gates[c.Arcs[aid].To].Type == circuit.Output {
+					continue
+				}
+				res.Detects[aid]++
+				if !res.CoveredSet[aid] {
+					res.CoveredSet[aid] = true
+					res.Covered++
+				}
+			}
+			res.PerPattern = append(res.PerPattern, res.Covered)
+		}
+	}
+	return res
+}
+
+func newCoverageResult(c *circuit.Circuit) *CoverageResult {
 	res := &CoverageResult{
 		CoveredSet: make([]bool, len(c.Arcs)),
 		Detects:    make([]int, len(c.Arcs)),
@@ -58,6 +122,14 @@ func ArcCoverage(c *circuit.Circuit, pats []logicsim.PatternPair) *CoverageResul
 			res.TotalArcs++
 		}
 	}
+	return res
+}
+
+// arcCoverageScalar is the one-pattern-at-a-time reference
+// implementation: the oracle the word-parallel ArcCoverage is tested
+// against, kept verbatim from the pre-kernel code.
+func arcCoverageScalar(c *circuit.Circuit, pats []logicsim.PatternPair) *CoverageResult {
+	res := newCoverageResult(c)
 	perPattern := c.NewArcSet()
 	for _, p := range pats {
 		tr := logicsim.SimulatePair(c, p)

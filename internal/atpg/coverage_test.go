@@ -99,3 +99,35 @@ func TestArcCoverageEmpty(t *testing.T) {
 		t.Errorf("empty pattern set covered %d", res.Covered)
 	}
 }
+
+// TestArcCoverageMatchesScalarOracle pins the word-parallel production
+// path against the scalar walk on every field, across pattern counts
+// that exercise full blocks, ragged tails, and multi-block sweeps.
+func TestArcCoverageMatchesScalarOracle(t *testing.T) {
+	for _, profile := range []string{"mini", "small"} {
+		c, err := synth.GenerateNamed(profile, 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 30, 64, 65, 150} {
+			pats := RandomPairs(c, n, rng.New(uint64(n)))
+			got := ArcCoverage(c, pats)
+			want := arcCoverageScalar(c, pats)
+			if got.TotalArcs != want.TotalArcs || got.Covered != want.Covered {
+				t.Fatalf("%s n=%d: total/covered %d/%d, scalar %d/%d",
+					profile, n, got.TotalArcs, got.Covered, want.TotalArcs, want.Covered)
+			}
+			for i := range want.PerPattern {
+				if got.PerPattern[i] != want.PerPattern[i] {
+					t.Fatalf("%s n=%d: curve[%d] = %d, scalar %d", profile, n, i, got.PerPattern[i], want.PerPattern[i])
+				}
+			}
+			for aid := range want.Detects {
+				if got.Detects[aid] != want.Detects[aid] || got.CoveredSet[aid] != want.CoveredSet[aid] {
+					t.Fatalf("%s n=%d arc %d: detects/covered %d/%v, scalar %d/%v",
+						profile, n, aid, got.Detects[aid], got.CoveredSet[aid], want.Detects[aid], want.CoveredSet[aid])
+				}
+			}
+		}
+	}
+}

@@ -126,3 +126,28 @@ func TestSaveFileAtomicOverwritesAndCleansUpOnError(t *testing.T) {
 		t.Errorf("overwritten file does not decode: %v", err)
 	}
 }
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob.dict")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("replacement bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "replacement bytes" {
+		t.Fatalf("contents = %q, %v", got, err)
+	}
+	des, _ := os.ReadDir(dir)
+	for _, de := range des {
+		if strings.Contains(de.Name(), ".tmp-") {
+			t.Errorf("stray temp file %s after atomic write", de.Name())
+		}
+	}
+	// A missing destination directory fails without creating anything.
+	if err := WriteFileAtomic(filepath.Join(dir, "no-such", "x"), []byte("y")); err == nil {
+		t.Error("write into missing directory succeeded")
+	}
+}

@@ -6,30 +6,26 @@ import (
 	"path/filepath"
 )
 
-// SaveFileAtomic writes the dictionary to path so that a crash at any
-// moment leaves either the previous file or the complete new one —
-// never a torn .dict. The write goes to a temp file in the same
-// directory (rename is only atomic within one filesystem), is fsynced
-// to push the bytes to stable storage before the name appears, then
-// renamed over path; finally the directory is fsynced so the rename
-// itself survives a power cut. Long-running services load these files
-// with a strict decoder — this writer is what guarantees the decoder
-// never sees a half-written dictionary after a crash.
-func (cd *CompressedDictionary) SaveFileAtomic(path string, nInputs int) error {
+// writeAtomic is the crash-safe write dance shared by every atomic
+// persist path: stream into a temp file in the destination directory
+// (rename is only atomic within one filesystem), fsync the bytes to
+// stable storage before the name appears, rename over path, then
+// fsync the directory so the rename itself survives a power cut. On
+// any failure the temp file is removed and the destination is
+// untouched.
+func writeAtomic(path string, write func(f *os.File) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("core: atomic save: %w", err)
+		return fmt.Errorf("core: atomic write: %w", err)
 	}
 	tmpName := tmp.Name()
-	// On any failure past this point the temp file is removed; the
-	// destination is untouched until the rename.
 	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("core: atomic save %s: %w", path, err)
+		return fmt.Errorf("core: atomic write %s: %w", path, err)
 	}
-	if err := cd.Save(tmp, nInputs); err != nil {
+	if err := write(tmp); err != nil {
 		return fail(err)
 	}
 	if err := tmp.Sync(); err != nil {
@@ -37,13 +33,36 @@ func (cd *CompressedDictionary) SaveFileAtomic(path string, nInputs int) error {
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("core: atomic save %s: %w", path, err)
+		return fmt.Errorf("core: atomic write %s: %w", path, err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("core: atomic save %s: %w", path, err)
+		return fmt.Errorf("core: atomic write %s: %w", path, err)
 	}
 	return syncDir(dir)
+}
+
+// WriteFileAtomic writes data to path with the full temp + fsync +
+// rename + dir-fsync sequence: a crash at any moment leaves either
+// the previous file or the complete new one, never a torn write.
+// Used by the snapshot-transfer path to install dictionary bytes
+// received from a peer replica.
+func WriteFileAtomic(path string, data []byte) error {
+	return writeAtomic(path, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// SaveFileAtomic writes the dictionary to path so that a crash at any
+// moment leaves either the previous file or the complete new one —
+// never a torn .dict. Long-running services load these files with a
+// strict decoder — this writer is what guarantees the decoder never
+// sees a half-written dictionary after a crash.
+func (cd *CompressedDictionary) SaveFileAtomic(path string, nInputs int) error {
+	return writeAtomic(path, func(f *os.File) error {
+		return cd.Save(f, nInputs)
+	})
 }
 
 // syncDir fsyncs a directory so a just-completed rename is durable.

@@ -94,16 +94,36 @@ func OutputValues(c *circuit.Circuit, vals []bool) []bool {
 
 // EvalWords evaluates 64 patterns at once: in[i] packs the value of
 // input i across 64 patterns (bit b = pattern b). The result packs
-// every gate's value the same way.
+// every gate's value the same way. It is the allocating convenience
+// wrapper over EvalWordsInto.
 func EvalWords(c *circuit.Circuit, in []uint64) []uint64 {
+	return EvalWordsInto(nil, c, in)
+}
+
+// EvalWordsInto is EvalWords writing into dst, reusing its backing
+// array when it is large enough — the allocation-free form for the
+// word-parallel simulation loops (dictionary characterization, arc
+// coverage). It returns the filled slice (freshly allocated only when
+// dst lacks capacity); every element is overwritten, so dst's prior
+// contents do not matter.
+//
+//ddd:hot
+func EvalWordsInto(dst []uint64, c *circuit.Circuit, in []uint64) []uint64 {
 	if len(in) != len(c.Inputs) {
 		panic(fmt.Sprintf("logicsim: %d words for %d inputs", len(in), len(c.Inputs)))
 	}
-	vals := make([]uint64, len(c.Gates))
+	if cap(dst) < len(c.Gates) {
+		dst = make([]uint64, len(c.Gates))
+	}
+	vals := dst[:len(c.Gates)]
+	for i := range vals {
+		vals[i] = 0 // match EvalWords' freshly-zeroed slice exactly
+	}
 	for i, g := range c.Inputs {
 		vals[g] = in[i]
 	}
-	scratch := make([]uint64, 0, 8)
+	var sbuf [8]uint64
+	scratch := sbuf[:0]
 	for _, gid := range c.Order {
 		g := &c.Gates[gid]
 		if g.Type == circuit.Input {
@@ -119,15 +139,22 @@ func EvalWords(c *circuit.Circuit, in []uint64) []uint64 {
 }
 
 // PackVectors packs up to 64 vectors into the word-parallel input form
-// consumed by EvalWords.
-func PackVectors(c *circuit.Circuit, vectors []Vector) []uint64 {
+// consumed by EvalWords: word i holds input i's value across the
+// vectors, bit b belonging to vectors[b].
+//
+// Ragged-tail contract: when fewer than 64 vectors are packed, the
+// high bits of every word stay zero, so those pattern lanes evaluate
+// the all-zeros input vector. Callers that aggregate over lanes must
+// mask the result down to TailMask(len(vectors)) — the bits above
+// len(vectors) are well-defined but meaningless.
+func PackVectors(c *circuit.Circuit, vectors []Vector) ([]uint64, error) {
 	if len(vectors) > 64 {
-		panic("logicsim: more than 64 vectors per word")
+		return nil, fmt.Errorf("logicsim: %d vectors exceed the 64-per-word limit", len(vectors))
 	}
 	in := make([]uint64, len(c.Inputs))
 	for b, v := range vectors {
 		if len(v) != len(c.Inputs) {
-			panic("logicsim: vector width mismatch")
+			return nil, fmt.Errorf("logicsim: vector %d has %d values for %d inputs", b, len(v), len(c.Inputs))
 		}
 		for i, bit := range v {
 			if bit {
@@ -135,7 +162,19 @@ func PackVectors(c *circuit.Circuit, vectors []Vector) []uint64 {
 			}
 		}
 	}
-	return in
+	return in, nil
+}
+
+// TailMask returns the mask selecting the n low pattern lanes of a
+// word — the valid lanes of a ragged (sub-64) PackVectors block.
+func TailMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	if n <= 0 {
+		return 0
+	}
+	return (uint64(1) << uint(n)) - 1
 }
 
 // Transition holds the two settled value assignments of a pattern pair.

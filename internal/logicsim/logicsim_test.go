@@ -1,6 +1,7 @@
 package logicsim
 
 import (
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -68,13 +69,8 @@ func TestEvalWidthMismatchPanics(t *testing.T) {
 	Eval(c, Vector{true})
 }
 
-func TestEvalWordsMatchesScalar(t *testing.T) {
-	c, err := synth.GenerateNamed("small", 13)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r := rng.New(21)
-	vectors := make([]Vector, 64)
+func randomVectors(r *rand.Rand, c *circuit.Circuit, n int) []Vector {
+	vectors := make([]Vector, n)
 	for i := range vectors {
 		v := make(Vector, len(c.Inputs))
 		for j := range v {
@@ -82,7 +78,25 @@ func TestEvalWordsMatchesScalar(t *testing.T) {
 		}
 		vectors[i] = v
 	}
-	words := EvalWords(c, PackVectors(c, vectors))
+	return vectors
+}
+
+func mustPack(t *testing.T, c *circuit.Circuit, vectors []Vector) []uint64 {
+	t.Helper()
+	in, err := PackVectors(c, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestEvalWordsMatchesScalar(t *testing.T) {
+	c, err := synth.GenerateNamed("small", 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors := randomVectors(rng.New(21), c, 64)
+	words := EvalWords(c, mustPack(t, c, vectors))
 	for b, v := range vectors {
 		vals := Eval(c, v)
 		for g := range vals {
@@ -94,18 +108,133 @@ func TestEvalWordsMatchesScalar(t *testing.T) {
 	}
 }
 
-func TestPackVectorsLimits(t *testing.T) {
+// TestEvalWordsIntoReusesBuffer: the Into form must not allocate when
+// handed a large-enough destination, and must overwrite stale contents.
+func TestEvalWordsIntoReusesBuffer(t *testing.T) {
 	c := parseC17(t)
-	defer func() {
-		if recover() == nil {
-			t.Errorf("PackVectors accepted 65 vectors")
+	vectors := randomVectors(rng.New(5), c, 64)
+	in := mustPack(t, c, vectors)
+	want := EvalWords(c, in)
+
+	dst := make([]uint64, len(c.Gates))
+	for i := range dst {
+		dst[i] = ^uint64(0) // stale garbage the kernel must clear
+	}
+	got := EvalWordsInto(dst, c, in)
+	if &got[0] != &dst[0] {
+		t.Error("EvalWordsInto reallocated despite sufficient capacity")
+	}
+	for g := range want {
+		if got[g] != want[g] {
+			t.Fatalf("gate %d: got %#x want %#x", g, got[g], want[g])
 		}
-	}()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		EvalWordsInto(dst, c, in)
+	})
+	if allocs != 0 {
+		t.Errorf("EvalWordsInto allocates %.1f/op with reusable dst, want 0", allocs)
+	}
+}
+
+func TestPackVectorsErrors(t *testing.T) {
+	c := parseC17(t)
 	vs := make([]Vector, 65)
 	for i := range vs {
 		vs[i] = make(Vector, len(c.Inputs))
 	}
-	PackVectors(c, vs)
+	if _, err := PackVectors(c, vs); err == nil {
+		t.Error("PackVectors accepted 65 vectors")
+	}
+	if _, err := PackVectors(c, []Vector{make(Vector, 1)}); err == nil {
+		t.Error("PackVectors accepted a width-mismatched vector")
+	}
+	if in, err := PackVectors(c, nil); err != nil || len(in) != len(c.Inputs) {
+		t.Errorf("PackVectors(nil) = %v, %v", in, err)
+	}
+}
+
+// TestPackVectorsRaggedTail pins the documented tail contract: packing
+// fewer than 64 vectors leaves the high bits of every word zero, so
+// the unused lanes evaluate the all-zeros input and callers must mask
+// with TailMask before aggregating across lanes.
+func TestPackVectorsRaggedTail(t *testing.T) {
+	c := parseC17(t)
+	vectors := randomVectors(rng.New(9), c, 5)
+	in := mustPack(t, c, vectors)
+	mask := TailMask(len(vectors))
+	for i, w := range in {
+		if w&^mask != 0 {
+			t.Errorf("input word %d has tail bits set: %#x", i, w)
+		}
+	}
+	words := EvalWords(c, in)
+	zeros := Eval(c, make(Vector, len(c.Inputs)))
+	for g, w := range words {
+		wantTail := uint64(0)
+		if zeros[g] {
+			wantTail = ^mask
+		}
+		if w&^mask != wantTail {
+			t.Errorf("gate %d tail lanes = %#x, want the all-zeros evaluation %#x", g, w&^mask, wantTail)
+		}
+	}
+}
+
+func TestTailMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{{-1, 0}, {0, 0}, {1, 1}, {5, 0x1f}, {63, ^uint64(0) >> 1}, {64, ^uint64(0)}, {99, ^uint64(0)}}
+	for _, tc := range cases {
+		if got := TailMask(tc.n); got != tc.want {
+			t.Errorf("TailMask(%d) = %#x, want %#x", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestSensitizedArcsWordsMatchesScalar: the 64-lane kernel must agree
+// with the scalar walk on every lane, output, and arc — including
+// ragged blocks.
+func TestSensitizedArcsWordsMatchesScalar(t *testing.T) {
+	for _, profile := range []string{"mini", "small"} {
+		c, err := synth.GenerateNamed(profile, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(31)
+		for _, lanes := range []int{64, 17, 1} {
+			v1s := randomVectors(r, c, lanes)
+			v2s := randomVectors(r, c, lanes)
+			init := EvalWords(c, mustPack(t, c, v1s))
+			final := EvalWords(c, mustPack(t, c, v2s))
+			dst := make([]uint64, len(c.Arcs))
+			active := make([]uint64, len(c.Gates))
+			for oi := range c.Outputs {
+				for i := range dst {
+					dst[i] = 0
+				}
+				SensitizedArcsWordsInto(dst, active, c, init, final, oi)
+				for b := 0; b < lanes; b++ {
+					tr := SimulatePair(c, PatternPair{v1s[b], v2s[b]})
+					want := SensitizedArcs(c, tr, oi)
+					for aid := range dst {
+						gotBit := dst[aid]>>uint(b)&1 == 1
+						if gotBit != want.Has(circuit.ArcID(aid)) {
+							t.Fatalf("%s output %d lane %d arc %d: words %v scalar %v",
+								profile, oi, b, aid, gotBit, want.Has(circuit.ArcID(aid)))
+						}
+					}
+				}
+				// Tail lanes must stay silent.
+				for aid, w := range dst {
+					if w&^TailMask(lanes) != 0 {
+						t.Fatalf("%s output %d arc %d: tail lanes sensitized (%#x)", profile, oi, aid, w)
+					}
+				}
+			}
+		}
+	}
 }
 
 func TestSimulatePairTransitions(t *testing.T) {

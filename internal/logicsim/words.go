@@ -1,0 +1,80 @@
+package logicsim
+
+import "repro/internal/circuit"
+
+// Word-parallel sensitization. SensitizedArcs walks one pattern pair
+// at a time; this kernel answers the same question for 64 pattern
+// pairs at once, one lane per bit, by replacing the depth-first walk
+// with a reverse-topological sweep of per-gate reachability masks.
+//
+// Per lane the semantics are identical to SensitizedArcs: an arc into
+// pin k of gate g is sensitized when g is reachable from the output
+// along transitioning, sensitized arcs, its driver transitions, and
+// every other pin of g holds a non-controlling final value.
+
+// SensitizedArcsWordsInto accumulates, for primary output outIdx, the
+// per-arc sensitization masks of a 64-lane block into dst
+// (dst[arcID] |= mask; len(dst) must be len(c.Arcs)). init and final
+// are the word-parallel settled values of the two vectors of every
+// pattern pair (EvalWordsInto over the packed V1s and V2s). active is
+// caller scratch of len(c.Gates); its contents are overwritten.
+//
+// Ragged blocks are safe without explicit masking here: an unused lane
+// packs all-zero inputs into both vectors, so no gate transitions on
+// it and no arc picks up its bit. Callers combining blocks should
+// still respect PackVectors' tail contract.
+//
+//ddd:hot
+func SensitizedArcsWordsInto(dst, active []uint64, c *circuit.Circuit, init, final []uint64, outIdx int) {
+	for i := range active {
+		active[i] = 0
+	}
+	root := c.Outputs[outIdx]
+	rootTrans := init[root] ^ final[root]
+	if rootTrans == 0 {
+		return // no lane observes a transition at this output
+	}
+	active[root] = rootTrans
+	// Reverse topological order: every gate that feeds active bits into
+	// gid sits later in c.Order, so it has already been processed.
+	for i := len(c.Order) - 1; i >= 0; i-- {
+		gid := c.Order[i]
+		am := active[gid]
+		if am == 0 {
+			continue
+		}
+		g := &c.Gates[gid]
+		if g.Type == circuit.Input {
+			continue
+		}
+		ctrl, hasCtrl := g.Type.Controlling()
+		for k, d := range g.Fanin {
+			sens := am & (init[d] ^ final[d])
+			if sens == 0 {
+				continue // no active lane sees a transition on this pin
+			}
+			if hasCtrl {
+				for j, other := range g.Fanin {
+					if j == k {
+						continue
+					}
+					// A lane is blocked when the side pin settles at the
+					// controlling value.
+					if ctrl {
+						sens &^= final[other]
+					} else {
+						sens &= final[other]
+					}
+					if sens == 0 {
+						break
+					}
+				}
+				if sens == 0 {
+					continue
+				}
+			}
+			dst[g.InArcs[k]] |= sens
+			active[d] |= sens
+		}
+	}
+}

@@ -45,3 +45,42 @@ func BenchmarkServeDiagnose(b *testing.B) {
 	b.ReportMetric(float64(st.Batch.BatchedRequests)/float64(max(st.Batch.Batches, 1)), "reqs/batch")
 	_ = s.Shutdown(context.Background())
 }
+
+// BenchmarkServeRouterDiagnose measures the same cache-hit diagnosis
+// through the router tier: ring lookup, raw-body forward over a real
+// TCP hop to one replica, response relay. The delta against
+// BenchmarkServeDiagnose is the router tax; BENCH_serve.json tracks
+// both.
+func BenchmarkServeRouterDiagnose(b *testing.B) {
+	s := newTestServer(b, func(cfg *Config) {
+		cfg.Preload = []string{"alpha"}
+		cfg.QueueDepth = 1024
+	})
+	if err := s.Warmup(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	replica := httptest.NewServer(s.Handler())
+	defer replica.Close()
+	rt, err := NewRouter(RouterConfig{Replicas: []string{replica.URL}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := rt.Handler()
+	body := diagnoseBody(b, "alpha", "Alg_rev", 5)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/diagnose", bytes.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	_ = s.Shutdown(context.Background())
+}

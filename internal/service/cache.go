@@ -228,6 +228,24 @@ func backoffDelay(id string, attempt int) time.Duration {
 	return d/2 + time.Duration(float64(d/2)*frac)
 }
 
+// Invalidate drops id from the cache if resident, so the next Get
+// reloads from disk. Used after a snapshot install replaces the
+// on-disk file; an in-flight load of the old file may still complete
+// and briefly re-cache it, which is acceptable staleness — the entry
+// it caches was valid when its load began.
+func (c *Cache) Invalidate(id string) {
+	sh := c.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.byID[id]; ok {
+		ent := el.Value.(*Entry)
+		sh.ll.Remove(el)
+		delete(sh.byID, id)
+		sh.bytes -= ent.Size
+		c.evictions.Add(1)
+	}
+}
+
 // Contains reports whether id is resident without promoting it.
 func (c *Cache) Contains(id string) bool {
 	sh := c.shardOf(id)

@@ -225,19 +225,47 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorBody{Error: msg})
 }
 
-// retryAfterSeconds is the backoff hint attached to load-shed
-// responses. The queue turns over in well under a second at any
-// realistic service time, so 1 s is the smallest honest hint the
-// header's integer granularity allows.
-const retryAfterSeconds = 1
+// Retry-After derivation. A hardcoded 1 s hint made every shed client
+// retry on the same beat regardless of how deep the queue actually
+// was; the hint now scales with the work already waiting, so hedging
+// routers and load generators back off proportionally to the overload
+// they observe.
+const (
+	// minRetryAfterSeconds is the floor: the header's integer
+	// granularity cannot honestly promise less than one second.
+	minRetryAfterSeconds = 1
+	// drainRetryAfterSeconds is the floor while the pool drains: the
+	// process is going away, so the client should give a replacement
+	// backend time to come up rather than hammer a dying one.
+	drainRetryAfterSeconds = 2
+	// maxRetryAfterSeconds caps the hint; beyond this the queue depth
+	// says "find another replica", not "wait longer".
+	maxRetryAfterSeconds = 8
+)
+
+// retryAfterSeconds derives the backoff hint from the pool's current
+// state: one second of floor plus roughly the queue's drain time in
+// worker-batches (depth/workers), clamped to [min, max]. Header and
+// JSON body always carry this same value.
+func (s *Server) retryAfterSeconds() int {
+	secs := minRetryAfterSeconds + s.pool.Depth()/s.cfg.Workers
+	if s.pool.Draining() && secs < drainRetryAfterSeconds {
+		secs = drainRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return secs
+}
 
 // writeRetryable emits a load-shed or deadline error (429
 // backpressure, 503 drain, 504 deadline) with a Retry-After header
 // and a machine-readable body — the same contract for every response
-// a client should react to by backing off and retrying.
-func writeRetryable(w http.ResponseWriter, status int, code, msg string) {
-	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
-	writeJSON(w, status, errorBody{Error: msg, Code: code, RetrySeconds: retryAfterSeconds})
+// a client should react to by backing off and retrying. The header
+// and the body's retry_after_s always carry the same derived value.
+func writeRetryable(w http.ResponseWriter, status int, code, msg string, retrySecs int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retrySecs))
+	writeJSON(w, status, errorBody{Error: msg, Code: code, RetrySeconds: retrySecs})
 }
 
 // handleDiagnose implements POST /v1/diagnose: validate, enqueue into
@@ -267,7 +295,7 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		time.Sleep(time.Duration(faultSlowHandler.Param(100)) * time.Millisecond)
 		if ctx.Err() != nil {
 			s.cancellations.Add(1)
-			writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded")
+			writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded", s.retryAfterSeconds())
 			return
 		}
 	}
@@ -276,9 +304,9 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	if err := s.batch.enqueue(req.Dict, job); err != nil {
 		switch err {
 		case ErrPoolDraining:
-			writeRetryable(w, http.StatusServiceUnavailable, "draining", "server shutting down")
+			writeRetryable(w, http.StatusServiceUnavailable, "draining", "server shutting down", s.retryAfterSeconds())
 		default:
-			writeRetryable(w, http.StatusTooManyRequests, "busy", "server busy, retry later")
+			writeRetryable(w, http.StatusTooManyRequests, "busy", "server busy, retry later", s.retryAfterSeconds())
 		}
 		return
 	}
@@ -291,7 +319,7 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, job.resp)
 	case <-ctx.Done():
 		s.cancellations.Add(1)
-		writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded")
+		writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded", s.retryAfterSeconds())
 	}
 }
 
@@ -353,7 +381,7 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		time.Sleep(time.Duration(faultSlowHandler.Param(100)) * time.Millisecond)
 		if ctx.Err() != nil {
 			s.cancellations.Add(1)
-			writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded")
+			writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded", s.retryAfterSeconds())
 			return
 		}
 	}
@@ -365,9 +393,9 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch err {
 		case ErrPoolDraining:
-			writeRetryable(w, http.StatusServiceUnavailable, "draining", "server shutting down")
+			writeRetryable(w, http.StatusServiceUnavailable, "draining", "server shutting down", s.retryAfterSeconds())
 		default:
-			writeRetryable(w, http.StatusTooManyRequests, "busy", "server busy, retry later")
+			writeRetryable(w, http.StatusTooManyRequests, "busy", "server busy, retry later", s.retryAfterSeconds())
 		}
 		return
 	}
@@ -376,7 +404,7 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.cancellations.Add(1)
-		writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded")
+		writeRetryable(w, http.StatusGatewayTimeout, "deadline", "request deadline exceeded", s.retryAfterSeconds())
 	}
 }
 

@@ -119,8 +119,9 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 // TestBackpressureRetryAfter asserts the 429 contract: a full queue
-// answers with a Retry-After header and a machine-readable JSON body
-// (code + retry hint), not just prose.
+// answers with a Retry-After header derived from the actual queue
+// depth and a machine-readable JSON body (code + retry hint) that
+// carries the same value, not just prose.
 func TestBackpressureRetryAfter(t *testing.T) {
 	s := newTestServer(t, func(cfg *Config) {
 		cfg.Workers = 1
@@ -152,15 +153,22 @@ func TestBackpressureRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d body %s, want 429", resp.StatusCode, body)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "1" {
-		t.Errorf("Retry-After = %q, want \"1\"", got)
+	// One worker busy, one job queued: depth/workers = 1, so the hint
+	// is 1 + 1 = 2 seconds.
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
 	}
 	var eb errorBody
 	if err := json.Unmarshal(body, &eb); err != nil {
 		t.Fatalf("unparseable 429 body %s: %v", body, err)
 	}
-	if eb.Code != "busy" || eb.Error == "" || eb.RetrySeconds != 1 {
-		t.Errorf("429 body = %+v, want code \"busy\" with retry_after_s 1", eb)
+	if eb.Code != "busy" || eb.Error == "" || eb.RetrySeconds != 2 {
+		t.Errorf("429 body = %+v, want code \"busy\" with retry_after_s 2", eb)
+	}
+	// Header and body must stay in lockstep — a client reading either
+	// one sees the same hint.
+	if hdr := resp.Header.Get("Retry-After"); hdr != strconv.Itoa(eb.RetrySeconds) {
+		t.Errorf("header %q != body hint %d", hdr, eb.RetrySeconds)
 	}
 
 	// The shed shows up as a rejection on /metrics.
@@ -170,6 +178,89 @@ func TestBackpressureRetryAfter(t *testing.T) {
 	}
 
 	close(gate)
+	_ = s.Shutdown(context.Background())
+}
+
+// TestRetryAfterScalesWithQueueDepth pins the hint derivation: the
+// shed reply promises roughly the time the queued work needs to
+// drain (1 + depth/workers), clamped to [1, 8] seconds.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	s := newTestServer(t, func(cfg *Config) {
+		cfg.Workers = 2
+		cfg.QueueDepth = 64
+	})
+	defer s.Shutdown(context.Background())
+
+	// Park both workers so every further Submit stays in the queue and
+	// Depth() is exact.
+	gate := make(chan struct{})
+	defer close(gate)
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		if err := s.pool.Submit(func() { started <- struct{}{}; <-gate }); err != nil {
+			t.Fatal(err)
+		}
+		<-started
+	}
+
+	depth := 0
+	fill := func(n int) {
+		for ; depth < n; depth++ {
+			if err := s.pool.Submit(func() {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, tc := range []struct{ depth, want int }{
+		{0, 1},  // empty queue: floor
+		{1, 1},  // 1/2 truncates to 0
+		{4, 3},  // 1 + 4/2
+		{10, 6}, // 1 + 10/2
+		{20, 8}, // 1 + 10 clamps to the 8 s ceiling
+	} {
+		fill(tc.depth)
+		if got := s.retryAfterSeconds(); got != tc.want {
+			t.Errorf("depth %d: retryAfterSeconds = %d, want %d", tc.depth, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterDrainFloor: a draining server tells clients to wait
+// at least 2 s even with an empty queue — retrying in 1 s would just
+// hit the dying process again.
+func TestRetryAfterDrainFloor(t *testing.T) {
+	s := newTestServer(t, func(cfg *Config) {
+		cfg.Workers = 1
+		cfg.QueueDepth = 4
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.pool.Drain()
+	if got := s.retryAfterSeconds(); got != 2 {
+		t.Errorf("draining retryAfterSeconds = %d, want 2", got)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/diagnose", "application/json",
+		bytes.NewReader(diagnoseBody(t, "alpha", "Alg_rev", 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d body %s, want 503", resp.StatusCode, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("unparseable 503 body %s: %v", body, err)
+	}
+	if eb.Code != "draining" || eb.RetrySeconds != 2 {
+		t.Errorf("503 body = %+v, want code \"draining\" with retry_after_s 2", eb)
+	}
+	if hdr := resp.Header.Get("Retry-After"); hdr != strconv.Itoa(eb.RetrySeconds) {
+		t.Errorf("header %q != body hint %d", hdr, eb.RetrySeconds)
+	}
 	_ = s.Shutdown(context.Background())
 }
 

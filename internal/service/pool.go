@@ -89,6 +89,17 @@ func (p *Pool) Submit(f func()) error {
 	}
 }
 
+// Depth returns the jobs currently waiting in the queue — the
+// backpressure signal the HTTP layer turns into a Retry-After hint.
+func (p *Pool) Depth() int { return len(p.jobs) }
+
+// Draining reports whether Drain has begun (intake closed).
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
 // Drain stops accepting work, runs everything already queued, and
 // returns when the workers have exited. Safe to call more than once.
 func (p *Pool) Drain() {

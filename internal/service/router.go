@@ -1,0 +1,721 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Router fronts N ddd-serve replicas with consistent-hash dictionary
+// placement and hedged failover. It is a thin, stateless tier: every
+// routing decision is a pure function of the replica list (ring.go),
+// every forwarded body is the client's raw bytes, and every response
+// the client sees is a replica's raw bytes — so the router inherits
+// the replicas' byte-determinism contract: for the same request, the
+// routed response is byte-identical to a single-node ddd-serve.
+//
+// Tail-latency control is hedging: the request goes to the
+// dictionary's owner first; if no answer arrives within HedgeAfter,
+// the same request is launched against the next distinct replica on
+// the ring (the loser is cancelled through its request context the
+// moment a winner lands). Transport errors and retryable statuses
+// (429/502/503/504) fail over to the next replica immediately. Both
+// ladders are bounded by MaxHedges.
+type RouterConfig struct {
+	// Replicas are the backend base URLs ("http://host:port"). At
+	// least one is required; order is irrelevant (the ring sorts).
+	Replicas []string
+	// VNodes is the ring's virtual-node count per replica (default 64).
+	VNodes int
+	// HedgeAfter is the latency budget before a hedge fires (default
+	// 30ms). The p99 of the healthy path should sit well under it —
+	// hedges are for stragglers, not for routine load spreading.
+	HedgeAfter time.Duration
+	// MaxHedges bounds extra attempts beyond the first (default 1;
+	// 0 disables hedging and failover consults only the owner).
+	MaxHedges int
+	// RequestTimeout bounds one routed request end to end, all
+	// attempts included (default 10s).
+	RequestTimeout time.Duration
+	// Client is the upstream HTTP client (default: a fresh
+	// http.Client; per-attempt deadlines come from request contexts).
+	Client *http.Client
+}
+
+func (cfg *RouterConfig) applyDefaults() {
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = defaultVNodes
+	}
+	if cfg.HedgeAfter <= 0 {
+		cfg.HedgeAfter = 30 * time.Millisecond
+	}
+	if cfg.MaxHedges < 0 {
+		cfg.MaxHedges = 0
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+}
+
+// Router is the sharded serving tier's front door.
+type Router struct {
+	cfg  RouterConfig
+	ring *Ring
+	mux  *http.ServeMux
+
+	reg       *obs.Registry
+	forwards  *obs.Counter
+	hedges    *obs.Counter
+	hedgeWins *obs.Counter
+	failovers *obs.Counter
+	upErrors  *obs.Counter
+	latency   *obs.Histogram
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// NewRouter builds a router over cfg.Replicas.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg.applyDefaults()
+	ring, err := NewRing(cfg.Replicas, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{cfg: cfg, ring: ring, reg: obs.NewRegistry()}
+	rt.forwards = rt.reg.Counter("ddd_router_forwards_total",
+		"requests forwarded to replicas (first attempts)", nil)
+	rt.hedges = rt.reg.Counter("ddd_router_hedges_total",
+		"hedge attempts launched after the latency budget expired", nil)
+	rt.hedgeWins = rt.reg.Counter("ddd_router_hedge_wins_total",
+		"requests answered by a hedge attempt rather than the first", nil)
+	rt.failovers = rt.reg.Counter("ddd_router_failovers_total",
+		"attempts relaunched after a transport error or retryable status", nil)
+	rt.upErrors = rt.reg.Counter("ddd_router_upstream_errors_total",
+		"attempts that ended in a transport error", nil)
+	rt.latency = rt.reg.Histogram("ddd_router_request_duration_seconds",
+		"routed request latency, all attempts included", nil, obs.LatencyBuckets)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/diagnose", rt.timed(rt.handleDiagnose))
+	mux.HandleFunc("POST /v1/diagnose/batch", rt.timed(rt.handleDiagnoseBatch))
+	mux.HandleFunc("GET /v1/dicts", rt.timed(rt.handleDicts))
+	mux.HandleFunc("GET /v1/dicts/{id}", rt.timed(rt.handleDictForward))
+	mux.HandleFunc("GET /v1/dicts/{id}/snapshot", rt.timed(rt.handleDictForward))
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /stats", rt.handleStats)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("POST /v1/admin/transfer", rt.handleTransfer)
+	rt.mux = mux
+	return rt, nil
+}
+
+// Ring exposes the placement ring (for tests and tooling).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+func (rt *Router) timed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		rt.latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// owners returns the attempt ladder for key: the owner plus up to
+// MaxHedges distinct successors on the ring.
+func (rt *Router) owners(key string) []string {
+	return rt.ring.Owners(key, 1+rt.cfg.MaxHedges)
+}
+
+// upstreamResult is one attempt's complete response.
+type upstreamResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// retryableStatus reports statuses a different replica might answer
+// better: backpressure, drain, deadline, and bad-gateway.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+type attemptOutcome struct {
+	idx int
+	res *upstreamResult
+	err error
+}
+
+// attempt performs one upstream request and reads the full response.
+func (rt *Router) attempt(ctx context.Context, idx int, method, url, contentType string, body []byte) attemptOutcome {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return attemptOutcome{idx: idx, err: err}
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		rt.upErrors.Inc()
+		return attemptOutcome{idx: idx, err: err}
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		rt.upErrors.Inc()
+		return attemptOutcome{idx: idx, err: err}
+	}
+	return attemptOutcome{idx: idx, res: &upstreamResult{status: resp.StatusCode, header: resp.Header, body: data}}
+}
+
+// forward runs the hedged attempt ladder for one request over
+// targets: attempt 0 goes to the owner immediately; each further
+// attempt launches when the hedge timer expires or the newest
+// outstanding attempt fails (transport error or retryable status).
+// The first definitive response wins and every other in-flight
+// attempt is cancelled through its context — the PR-4 plumbing
+// (handler ctx -> batch ctx -> worker skip) turns that cancellation
+// into a freed worker slot on the losing replica.
+func (rt *Router) forward(ctx context.Context, method, path, contentType string, body []byte, targets []string) (*upstreamResult, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.RequestTimeout)
+	defer cancel()
+	rt.forwards.Inc()
+
+	results := make(chan attemptOutcome, len(targets))
+	cancels := make([]context.CancelFunc, len(targets))
+	defer func() {
+		for _, c := range cancels {
+			if c != nil {
+				c()
+			}
+		}
+	}()
+	launched := 0
+	launch := func() {
+		i := launched
+		actx, acancel := context.WithCancel(ctx)
+		cancels[i] = acancel
+		go func() { results <- rt.attempt(actx, i, method, targets[i]+path, contentType, body) }()
+		launched++
+	}
+	launch()
+	timer := time.NewTimer(rt.cfg.HedgeAfter)
+	defer timer.Stop()
+
+	pending := 1
+	var lastRes *upstreamResult
+	var lastErr error
+	for pending > 0 {
+		select {
+		case out := <-results:
+			pending--
+			if out.err == nil && !retryableStatus(out.res.status) {
+				if out.idx > 0 {
+					rt.hedgeWins.Inc()
+				}
+				return out.res, nil
+			}
+			if out.err != nil {
+				lastErr = out.err
+			} else {
+				lastRes = out.res
+			}
+			if launched < len(targets) {
+				// Immediate failover: the newest attempt failed, so the
+				// hedge budget is moot — consult the next replica now.
+				rt.failovers.Inc()
+				launch()
+				pending++
+			}
+		case <-timer.C:
+			if launched < len(targets) {
+				rt.hedges.Inc()
+				launch()
+				pending++
+				timer.Reset(rt.cfg.HedgeAfter)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Every attempt failed. Prefer a structured upstream response
+	// (429/503/504 with its Retry-After) over a bare transport error.
+	if lastRes != nil {
+		return lastRes, nil
+	}
+	return nil, lastErr
+}
+
+// writeUpstream relays a replica's response verbatim: status, body
+// bytes, and the headers that carry contract (content type, retry
+// hint). Byte-determinism of routed responses rests on this being a
+// pure copy.
+func writeUpstream(w http.ResponseWriter, res *upstreamResult) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// readBody reads the request body under the same byte cap the
+// replicas apply, so an oversized body produces the same 400 here as
+// it would on a single node.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return nil, false
+	}
+	return body, true
+}
+
+// handleDiagnose routes POST /v1/diagnose: peek the dictionary id
+// (tolerantly — a malformed body routes deterministically to the
+// empty key's owner, whose strict decoder produces the exact error a
+// single node would), then forward the raw bytes hedged.
+func (rt *Router) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var peek struct {
+		Dict string `json:"dict"`
+	}
+	// Errors are deliberately ignored: the replica owns rejection.
+	_ = json.Unmarshal(body, &peek)
+	res, err := rt.forward(r.Context(), http.MethodPost, "/v1/diagnose", "application/json", body, rt.owners(peek.Dict))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "all replicas failed: "+err.Error())
+		return
+	}
+	writeUpstream(w, res)
+}
+
+// rawBatchItem mirrors BatchItem with the Response kept as raw bytes,
+// so merging sub-batches re-emits each replica's exact marshaling.
+// Field order matches BatchItem's declaration order — that is what
+// makes the merged document byte-identical to a single node's.
+type rawBatchItem struct {
+	Index    int             `json:"index"`
+	Status   int             `json:"status"`
+	Error    string          `json:"error,omitempty"`
+	Code     string          `json:"code,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+type rawBatchResponse struct {
+	Results []rawBatchItem `json:"results"`
+	Failed  int            `json:"failed"`
+}
+
+// handleDiagnoseBatch routes POST /v1/diagnose/batch. Items are
+// grouped by their dictionary's owner; each owner receives one
+// sub-batch (hedged like a single request) and the answers are
+// merged back in request order with indices rewritten. Bodies the
+// router cannot parse exactly as a replica would (strict decode,
+// size/item caps) are forwarded whole to a deterministic replica so
+// the error response still matches a single node's bytes.
+func (rt *Router) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	forwardWhole := func(key string) {
+		res, err := rt.forward(r.Context(), http.MethodPost, "/v1/diagnose/batch", "application/json", body, rt.owners(key))
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "all replicas failed: "+err.Error())
+			return
+		}
+		writeUpstream(w, res)
+	}
+	// The strict peek mirrors the replica's own decode; any
+	// divergence (unknown fields, bad JSON, caps) routes the original
+	// bytes to a replica for the authoritative error.
+	var breq struct {
+		Requests []json.RawMessage `json:"requests"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil ||
+		len(breq.Requests) == 0 || len(breq.Requests) > maxBatchItems {
+		forwardWhole("")
+		return
+	}
+
+	// Group items by owner, preserving request order within a group.
+	type group struct {
+		owner   string
+		indices []int
+		items   []json.RawMessage
+	}
+	groups := make(map[string]*group)
+	order := make([]string, 0, 4) // owners in first-appearance order
+	for i, item := range breq.Requests {
+		var peek struct {
+			Dict string `json:"dict"`
+		}
+		_ = json.Unmarshal(item, &peek)
+		owner := rt.ring.Owner(peek.Dict)
+		g, okg := groups[owner]
+		if !okg {
+			g = &group{owner: owner}
+			groups[owner] = g
+			order = append(order, owner)
+		}
+		g.indices = append(g.indices, i)
+		g.items = append(g.items, item)
+	}
+	if len(order) == 1 {
+		// One owner holds every dictionary in the batch: forward the
+		// client's bytes untouched.
+		first := groups[order[0]]
+		var peek struct {
+			Dict string `json:"dict"`
+		}
+		_ = json.Unmarshal(first.items[0], &peek)
+		forwardWhole(peek.Dict)
+		return
+	}
+
+	// Fan the sub-batches out concurrently; each is hedged on its own
+	// owner's ladder.
+	type subResult struct {
+		g   *group
+		res *upstreamResult
+		err error
+	}
+	results := make([]subResult, len(order))
+	done := make(chan int, len(order))
+	for gi, owner := range order {
+		gi, g := gi, groups[owner]
+		go func() {
+			sub, err := json.Marshal(struct {
+				Requests []json.RawMessage `json:"requests"`
+			}{g.items})
+			if err == nil {
+				var res *upstreamResult
+				res, err = rt.forward(r.Context(), http.MethodPost, "/v1/diagnose/batch", "application/json", sub, rt.owners(keyOf(g.items[0])))
+				results[gi] = subResult{g: g, res: res, err: err}
+			} else {
+				results[gi] = subResult{g: g, err: err}
+			}
+			done <- gi
+		}()
+	}
+	for range order {
+		<-done
+	}
+
+	// A failed sub-batch fails the whole request the way a single
+	// node's shed would; pick the failure deterministically (first
+	// owner in canonical order) so the response does not depend on
+	// goroutine scheduling.
+	sort.Slice(results, func(i, j int) bool { return results[i].g.owner < results[j].g.owner })
+	for _, sr := range results {
+		if sr.err != nil {
+			writeError(w, http.StatusBadGateway, "all replicas failed: "+sr.err.Error())
+			return
+		}
+		if sr.res.status != http.StatusOK {
+			writeUpstream(w, sr.res)
+			return
+		}
+	}
+
+	merged := rawBatchResponse{Results: make([]rawBatchItem, len(breq.Requests))}
+	for _, sr := range results {
+		var sub rawBatchResponse
+		if err := json.Unmarshal(sr.res.body, &sub); err != nil || len(sub.Results) != len(sr.g.indices) {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("replica %s returned an unmergeable batch response", sr.g.owner))
+			return
+		}
+		for k, item := range sub.Results {
+			item.Index = sr.g.indices[k]
+			merged.Results[item.Index] = item
+		}
+		merged.Failed += sub.Failed
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+// keyOf peeks the routing key (dictionary id) out of one batch item.
+func keyOf(item json.RawMessage) string {
+	var peek struct {
+		Dict string `json:"dict"`
+	}
+	_ = json.Unmarshal(item, &peek)
+	return peek.Dict
+}
+
+// handleDicts implements GET /v1/dicts as the union over all
+// replicas: a dictionary lists if any replica has it, and counts as
+// cached if it is resident anywhere. Sorted by id, deterministic.
+func (rt *Router) handleDicts(w http.ResponseWriter, r *http.Request) {
+	type dictInfo struct {
+		ID     string `json:"id"`
+		Cached bool   `json:"cached"`
+	}
+	replicas := rt.ring.Replicas()
+	type fanResult struct {
+		res *upstreamResult
+		err error
+	}
+	results := make([]fanResult, len(replicas))
+	done := make(chan int, len(replicas))
+	for i, rep := range replicas {
+		i, rep := i, rep
+		go func() {
+			out := rt.attempt(r.Context(), i, http.MethodGet, rep+"/v1/dicts", "", nil)
+			results[i] = fanResult{res: out.res, err: out.err}
+			done <- i
+		}()
+	}
+	for range replicas {
+		<-done
+	}
+	union := make(map[string]bool)
+	for i, fr := range results {
+		if fr.err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("replica %s: %v", replicas[i], fr.err))
+			return
+		}
+		if fr.res.status != http.StatusOK {
+			writeUpstream(w, fr.res)
+			return
+		}
+		var doc struct {
+			Dicts []dictInfo `json:"dicts"`
+		}
+		if err := json.Unmarshal(fr.res.body, &doc); err != nil {
+			writeError(w, http.StatusBadGateway, fmt.Sprintf("replica %s: undecodable /v1/dicts", replicas[i]))
+			return
+		}
+		for _, d := range doc.Dicts {
+			union[d.ID] = union[d.ID] || d.Cached
+		}
+	}
+	ids := make([]string, 0, len(union))
+	for id := range union {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := struct {
+		Dicts []dictInfo `json:"dicts"`
+	}{Dicts: make([]dictInfo, len(ids))}
+	for i, id := range ids {
+		out.Dicts[i] = dictInfo{ID: id, Cached: union[id]}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDictForward routes GET /v1/dicts/{id} and its snapshot to the
+// id's owner, hedged like a diagnosis.
+func (rt *Router) handleDictForward(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !validID(id) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dictionary id %q", id))
+		return
+	}
+	path := "/v1/dicts/" + id
+	if strings.HasSuffix(r.URL.Path, "/snapshot") {
+		path += "/snapshot"
+	}
+	res, err := rt.forward(r.Context(), http.MethodGet, path, "", nil, rt.owners(id))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "all replicas failed: "+err.Error())
+		return
+	}
+	if sha := res.header.Get(shaHeader); sha != "" {
+		w.Header().Set(shaHeader, sha)
+	}
+	writeUpstream(w, res)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleReadyz aggregates replica readiness: the router is ready only
+// when every replica answers /readyz 200.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	replicas := rt.ring.Replicas()
+	type repReady struct {
+		Replica string `json:"replica"`
+		Ready   bool   `json:"ready"`
+	}
+	states := make([]repReady, len(replicas))
+	done := make(chan int, len(replicas))
+	for i, rep := range replicas {
+		i, rep := i, rep
+		go func() {
+			out := rt.attempt(r.Context(), i, http.MethodGet, rep+"/readyz", "", nil)
+			states[i] = repReady{Replica: rep, Ready: out.err == nil && out.res.status == http.StatusOK}
+			done <- i
+		}()
+	}
+	for range replicas {
+		<-done
+	}
+	ready := true
+	for _, st := range states {
+		ready = ready && st.Ready
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, struct {
+		Ready    bool       `json:"ready"`
+		Replicas []repReady `json:"replicas"`
+	}{ready, states})
+}
+
+// RouterStats is the /stats document of the router tier.
+type RouterStats struct {
+	Replicas   []string `json:"replicas"`
+	VNodes     int      `json:"vnodes"`
+	HedgeAfter string   `json:"hedge_after"`
+	MaxHedges  int      `json:"max_hedges"`
+	Forwards   int64    `json:"forwards"`
+	Hedges     int64    `json:"hedges"`
+	HedgeWins  int64    `json:"hedge_wins"`
+	Failovers  int64    `json:"failovers"`
+}
+
+// Stats snapshots the router counters.
+func (rt *Router) Stats() RouterStats {
+	return RouterStats{
+		Replicas:   rt.ring.Replicas(),
+		VNodes:     rt.cfg.VNodes,
+		HedgeAfter: rt.cfg.HedgeAfter.String(),
+		MaxHedges:  rt.cfg.MaxHedges,
+		Forwards:   int64(rt.forwards.Value()),
+		Hedges:     int64(rt.hedges.Value()),
+		HedgeWins:  int64(rt.hedgeWins.Value()),
+		Failovers:  int64(rt.failovers.Value()),
+	}
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats())
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = rt.reg.WriteText(w)
+}
+
+// handleTransfer implements POST /v1/admin/transfer: copy a
+// dictionary snapshot between replicas (SHA-256 verified end to end,
+// see TransferSnapshot). "from" defaults to the id's current owner;
+// "to" is required — after a topology change the operator (or an
+// orchestrator walking the ring diff) names the new owner here.
+func (rt *Router) handleTransfer(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Dict string `json:"dict"`
+		From string `json:"from,omitempty"`
+		To   string `json:"to"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if !validID(req.Dict) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid dictionary id %q", req.Dict))
+		return
+	}
+	if req.To == "" {
+		writeError(w, http.StatusBadRequest, "\"to\" replica is required")
+		return
+	}
+	from := req.From
+	if from == "" {
+		from = rt.ring.Owner(req.Dict)
+	}
+	n, digest, err := TransferSnapshot(r.Context(), rt.cfg.Client, from, req.To, req.Dict)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Dict   string `json:"dict"`
+		From   string `json:"from"`
+		To     string `json:"to"`
+		Bytes  int    `json:"bytes"`
+		Sha256 string `json:"sha256"`
+	}{req.Dict, from, req.To, n, digest})
+}
+
+// Start listens on addr and serves in the background (same transport
+// protections as Server.Start).
+func (rt *Router) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	writeTimeout := 2 * rt.cfg.RequestTimeout
+	if writeTimeout < minWriteTimeout {
+		writeTimeout = minWriteTimeout
+	}
+	rt.ln = ln
+	rt.httpSrv = &http.Server{
+		Handler:           rt.mux,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+	go func() { _ = rt.httpSrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address after Start.
+func (rt *Router) Addr() string {
+	if rt.ln == nil {
+		return ""
+	}
+	return rt.ln.Addr().String()
+}
+
+// Shutdown stops the router gracefully. The replicas drain
+// themselves; the router only has in-flight forwards to wait for.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	if rt.httpSrv == nil {
+		return nil
+	}
+	return rt.httpSrv.Shutdown(ctx)
+}

@@ -179,13 +179,14 @@ func New(cfg Config) (*Server, error) {
 	s.pool = NewPool(cfg.Workers, cfg.QueueDepth)
 	s.batch = newBatcher(s.pool, s.runBatch)
 	s.endpoints = map[string]*epStats{
-		"/v1/diagnose":       {},
-		"/v1/diagnose/batch": {},
-		"/v1/dicts":          {},
-		"/v1/dicts/{id}":     {},
-		"/healthz":           {},
-		"/readyz":            {},
-		"/stats":             {},
+		"/v1/diagnose":            {},
+		"/v1/diagnose/batch":      {},
+		"/v1/dicts":               {},
+		"/v1/dicts/{id}":          {},
+		"/v1/dicts/{id}/snapshot": {},
+		"/healthz":                {},
+		"/readyz":                 {},
+		"/stats":                  {},
 	}
 	s.metrics = newServerMetrics(s)
 	mux := http.NewServeMux()
@@ -193,6 +194,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/diagnose/batch", s.instrument("/v1/diagnose/batch", s.handleDiagnoseBatch))
 	mux.HandleFunc("GET /v1/dicts", s.instrument("/v1/dicts", s.handleDicts))
 	mux.HandleFunc("GET /v1/dicts/{id}", s.instrument("/v1/dicts/{id}", s.handleDictInfo))
+	mux.HandleFunc("GET /v1/dicts/{id}/snapshot", s.instrument("/v1/dicts/{id}/snapshot", s.handleSnapshotGet))
+	mux.HandleFunc("PUT /v1/dicts/{id}/snapshot", s.instrument("/v1/dicts/{id}/snapshot", s.handleSnapshotPut))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.HandleFunc("GET /stats", s.instrument("/stats", s.handleStats))
