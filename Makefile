@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-self lint-obs ci accept test race bench bench-core bench-serve smoke-serve smoke-router smoke-resume loadtest chaos fuzz table1 figures ablate clean
+.PHONY: all build vet lint lint-self lint-obs ci accept test race bench bench-core bench-serve smoke-serve smoke-router smoke-resume loadtest chaos chaos-router fuzz table1 figures ablate clean
 
 all: build vet lint test
 
@@ -36,11 +36,12 @@ lint-obs:
 # ci is the pre-merge gate: build, vet, ddd-lint (full + self + the
 # obs layer), the full test suite under the race detector, the ddd-serve
 # end-to-end smoke, the router-tier smoke, the loadgen SLO gate, the
-# kill-and-resume checkpoint smoke, the analytic-engine acceptance
+# router chaos gate (kill a replica mid-load, tier must re-converge),
+# the kill-and-resume checkpoint smoke, the analytic-engine acceptance
 # gate, and the allocation budget of the dictionary build loop
 # (steady-state allocs must be independent of the Monte-Carlo sample
 # count).
-ci: build lint lint-self lint-obs smoke-serve smoke-router loadtest smoke-resume accept
+ci: build lint lint-self lint-obs smoke-serve smoke-router loadtest chaos-router smoke-resume accept
 	$(GO) test -race ./...
 	$(GO) test ./internal/core -run '^TestBuildDictionaryAllocBudget$$' -count=1
 
@@ -87,6 +88,17 @@ smoke-resume:
 chaos:
 	$(GO) test -race ./internal/fault -count=1
 	$(GO) test -race ./internal/service -run '^TestChaos' -count=1 -v
+
+# chaos-router is the self-healing tier's end-to-end gate: three full
+# replicas behind the router, the deterministic loadgen mix replaying
+# against it, one replica killed mid-run. The run must stay invisible
+# to clients (zero transport errors, SLO green), the tier must
+# re-converge (victim demoted, /readyz 200, zero snapshot transfers —
+# every replica holds every dictionary), routed responses must stay
+# byte-identical to a direct replica answer, and no goroutine may
+# leak.
+chaos-router:
+	$(GO) test -race ./cmd/ddd-loadgen -run '^TestChaosRouterKillReplica$$' -count=1 -v
 
 test:
 	$(GO) test ./...

@@ -3,16 +3,21 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/rng"
 	"repro/internal/service"
 )
 
@@ -168,4 +173,240 @@ func TestLoadtestSLO(t *testing.T) {
 		t.Fatalf("SLO gate failed: rps %.1f (min %.1f), p99 %.1fms (max %.0fms)",
 			rep.RPS, rep.SLO.MinRPS, rep.P99Ms, rep.SLO.MaxP99S*1e3)
 	}
+}
+
+// startChaosReplica builds one full-surface replica on a real
+// listener. The chaos test needs Start/Shutdown rather than httptest
+// because killing a replica means closing its listener through the
+// same path an operator's SIGTERM would take.
+func startChaosReplica(tb testing.TB) *service.Server {
+	tb.Helper()
+	s, err := service.New(service.Config{
+		Dir:            writeLoadDicts(tb),
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// routerStats snapshots the router's /stats document.
+func routerStats(tb testing.TB, base string) service.RouterStats {
+	tb.Helper()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		tb.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st service.RouterStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		tb.Fatalf("decode /stats: %v", err)
+	}
+	return st
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(tb testing.TB, what string, deadline time.Duration, cond func() bool) {
+	tb.Helper()
+	start := time.Now()
+	for time.Since(start) < deadline {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	tb.Fatalf("timed out after %v waiting for %s", deadline, what)
+}
+
+// postDiagnose sends body to base/v1/diagnose and returns the status
+// and the raw response bytes.
+func postDiagnose(tb testing.TB, client *http.Client, base string, body []byte) (int, []byte) {
+	tb.Helper()
+	resp, err := client.Post(base+"/v1/diagnose", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatalf("POST %s/v1/diagnose: %v", base, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// TestChaosRouterKillReplica is the `make chaos-router` gate: three
+// full replicas behind a self-healing router, a deterministic load
+// plan replaying against it, and one replica killed mid-run. The tier
+// must absorb the kill invisibly — zero client-visible transport
+// errors, every response class intact, the SLO gate green — then
+// re-converge: the victim demoted out of the ring, router /readyz
+// still 200, and zero snapshot transfers (every replica already holds
+// the full dictionary set, so recovery must not invent work). Routed
+// responses stay byte-identical to a direct replica answer, and the
+// whole exercise leaks no goroutines.
+func TestChaosRouterKillReplica(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	replicas := make([]*service.Server, 3)
+	urls := make([]string, 3)
+	for i := range replicas {
+		replicas[i] = startChaosReplica(t)
+		urls[i] = "http://" + replicas[i].Addr()
+	}
+
+	rt, err := service.NewRouter(service.RouterConfig{
+		Replicas:       urls,
+		HedgeAfter:     25 * time.Millisecond,
+		MaxHedges:      2, // ladder covers all three replicas
+		RequestTimeout: 30 * time.Second,
+		HealthInterval: 20 * time.Millisecond,
+		HealthTimeout:  500 * time.Millisecond,
+		FailAfter:      2,
+		RecoverAfter:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	routerURL := "http://" + rt.Addr()
+
+	cfg := genConfig{
+		Target:   routerURL,
+		Requests: 900,
+		Clients:  6,
+		Seed:     7,
+		HotSkew:  0.7,
+		Mix:      testMix(t),
+		SLORPS:   1,
+		SLOP99:   20 * time.Second,
+		Timeout:  30 * time.Second,
+	}
+	type loadResult struct {
+		rep *genReport
+		err error
+	}
+	loadDone := make(chan loadResult, 1)
+	go func() {
+		rep, err := runLoad(cfg)
+		loadDone <- loadResult{rep, err}
+	}()
+
+	// Kill one replica only after the router has demonstrably started
+	// forwarding, so the kill lands mid-run. Shutdown closes the
+	// listener immediately — from the router's view the replica is
+	// dead for every new connection — while in-flight requests finish
+	// cleanly, which is exactly what a SIGTERM'd replica does.
+	victim, victimURL := replicas[0], urls[0]
+	waitFor(t, "router to start forwarding", 10*time.Second, func() bool {
+		return routerStats(t, routerURL).Forwards >= 50
+	})
+	var killWG sync.WaitGroup
+	killWG.Add(1)
+	go func() {
+		defer killWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = victim.Shutdown(ctx)
+	}()
+
+	res := <-loadDone
+	if res.err != nil {
+		t.Fatalf("runLoad: %v", res.err)
+	}
+	rep := res.rep
+	if rep.Transport != 0 {
+		t.Fatalf("kill leaked to clients: %d transport errors", rep.Transport)
+	}
+	if got := rep.Statuses["400"]; got != rep.Classes["malformed"] {
+		t.Fatalf("400s = %d, want one per malformed request (%d); statuses %v",
+			got, rep.Classes["malformed"], rep.Statuses)
+	}
+	wantOK := rep.Classes["single"] + rep.Classes["batch"]
+	if got := rep.Statuses["200"]; got != wantOK {
+		t.Fatalf("200s = %d, want %d (single %d + batch %d); statuses %v",
+			got, wantOK, rep.Classes["single"], rep.Classes["batch"], rep.Statuses)
+	}
+	if !rep.SLO.Pass {
+		t.Fatalf("SLO gate failed under chaos: rps %.1f (min %.1f), p99 %.1fms (max %.0fms)",
+			rep.RPS, rep.SLO.MinRPS, rep.P99Ms, rep.SLO.MaxP99S*1e3)
+	}
+
+	// Re-convergence: the prober demotes the victim out of the ring...
+	waitFor(t, "victim demotion", 5*time.Second, func() bool {
+		for _, m := range routerStats(t, routerURL).Members {
+			if m.Replica == victimURL {
+				return m.State == "down"
+			}
+		}
+		return false
+	})
+	// ...the rebalancer finishes reconciling the new placement...
+	waitFor(t, "rebalance to settle", 5*time.Second, func() bool {
+		rb := routerStats(t, routerURL).Rebalance
+		return rb.Generation >= 1 && rb.Pending == 0
+	})
+	// ...and the tier is ready with the survivors.
+	resp, err := http.Get(routerURL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router /readyz after kill = %d, want 200", resp.StatusCode)
+	}
+
+	// Every replica holds every dictionary, so healing this tier must
+	// be pure membership arithmetic: zero snapshot transfers.
+	st := routerStats(t, routerURL)
+	if rb := st.Rebalance; rb.Completed != 0 || rb.Failed != 0 || rb.Unsourced != 0 || rb.Overlay != 0 {
+		t.Fatalf("recovery triggered transfers: %+v", rb)
+	}
+	if st.MembershipVersion < 2 {
+		t.Fatalf("membership version = %d, want >= 2 (initial build + demotion)", st.MembershipVersion)
+	}
+
+	// Byte-determinism survives the kill: a routed diagnosis equals
+	// the same request answered by a surviving replica directly.
+	client := &http.Client{Timeout: 10 * time.Second}
+	sh, err := fetchShape(client, routerURL, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(singleBody(rng.New(rng.DeriveN(cfg.Seed, 0xc4a05, 0)), "alpha", sh))
+	routedCode, routed := postDiagnose(t, client, routerURL, body)
+	directCode, direct := postDiagnose(t, client, urls[1], body)
+	if routedCode != http.StatusOK || directCode != http.StatusOK {
+		t.Fatalf("diagnose after kill: routed %d, direct %d, want 200/200", routedCode, directCode)
+	}
+	if !bytes.Equal(routed, direct) {
+		t.Fatalf("routed response diverged from direct replica response:\nrouted: %s\ndirect: %s", routed, direct)
+	}
+
+	// Teardown and the leak check: everything the test started must
+	// wind down to the pre-test goroutine count.
+	killWG.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		t.Fatalf("router shutdown: %v", err)
+	}
+	for _, s := range replicas[1:] {
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatalf("replica shutdown: %v", err)
+		}
+	}
+	client.CloseIdleConnections()
+	http.DefaultClient.CloseIdleConnections()
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	waitFor(t, "goroutines to drain", 5*time.Second, func() bool {
+		return runtime.NumGoroutine() <= baseline+2
+	})
 }

@@ -28,14 +28,25 @@
 // failed dictionary loads (capped exponential backoff, deterministic
 // jitter); not-found is never retried.
 //
-// Router mode: -router with a comma-separated replica list turns the
+// Router mode: -router with a comma-separated replica list (or
+// -replicas-file with one URL per line, reloaded on change) turns the
 // process into the sharded serving tier's front door instead of a
 // replica — consistent-hash dictionary placement, hedged failover
 // (-hedge-after, -max-hedges), and snapshot transfer between
 // replicas (POST /v1/admin/transfer). See DESIGN.md §15.
 //
+// The router tier self-heals (DESIGN.md §16): replicas are
+// health-checked on -health-interval with -fail-after/-recover-after
+// hysteresis, per-replica circuit breakers (-breaker-failures,
+// -breaker-cooldown, -breaker-successes) skip dead targets at request
+// speed, membership changes arrive via POST /v1/admin/replicas or a
+// -replicas-file edit, and every change triggers automatic dictionary
+// rebalance (-rebalance-workers, -rebalance-retries, journaled to
+// -rebalance-journal for restart resume).
+//
 //	ddd-serve -router http://127.0.0.1:8345,http://127.0.0.1:8346 \
-//	    [-addr :8344] [-hedge-after 30ms] [-max-hedges 1] [-vnodes 64]
+//	    [-addr :8344] [-hedge-after 30ms] [-max-hedges 1] [-vnodes 64] \
+//	    [-health-interval 2s] [-rebalance-journal rebalance.jsonl]
 package main
 
 import (
@@ -70,22 +81,22 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	engineName := flag.String("engine", "", "timing engine the served dictionaries were built with (mc|analytic; shown in /stats)")
 	router := flag.String("router", "", "run as a router over this comma-separated replica URL list instead of serving dictionaries")
+	replicasFile := flag.String("replicas-file", "", "router: replica URL list file (one per line, #-comments); reloaded on change")
 	hedgeAfter := flag.Duration("hedge-after", 30*time.Millisecond, "router: latency budget before hedging to the next replica on the ring")
 	maxHedges := flag.Int("max-hedges", 1, "router: extra attempts beyond the first (0 disables hedging)")
 	vnodes := flag.Int("vnodes", 0, "router: virtual nodes per replica on the placement ring (0 = default 64)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "router: replica health-probe cadence (0 disables active health checking)")
+	healthTimeout := flag.Duration("health-timeout", 2*time.Second, "router: per-probe timeout")
+	failAfter := flag.Int("fail-after", 3, "router: consecutive probe failures that demote a replica out of the ring")
+	recoverAfter := flag.Int("recover-after", 2, "router: consecutive probe successes that promote a replica back")
+	breakerFailures := flag.Int("breaker-failures", 3, "router: consecutive transport errors that open a replica's circuit")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "router: open-circuit wait before a half-open probe")
+	breakerSuccesses := flag.Int("breaker-successes", 2, "router: half-open probe successes that close the circuit")
+	rebalanceWorkers := flag.Int("rebalance-workers", 2, "router: concurrent snapshot transfers during a rebalance")
+	rebalanceRetries := flag.Int("rebalance-retries", 3, "router: per-transfer retry budget beyond the first attempt")
+	rebalanceJournal := flag.String("rebalance-journal", "", "router: JSONL transfer journal path (enables restart resume)")
 	flag.Parse()
 
-	if *router != "" {
-		if err := runRouter(*addr, *router, *hedgeAfter, *maxHedges, *vnodes, *timeout, *grace); err != nil {
-			log.Fatalf("ddd-serve: %v", err)
-		}
-		return
-	}
-	if *dicts == "" {
-		fmt.Fprintln(os.Stderr, "ddd-serve: -dicts is required (or -router for router mode)")
-		flag.Usage()
-		os.Exit(2)
-	}
 	if *reqTimeout > 0 {
 		*timeout = *reqTimeout
 	}
@@ -98,6 +109,37 @@ func main() {
 	}
 	if spec != "" {
 		log.Printf("fault injection armed: %s", spec)
+	}
+	if *router != "" || *replicasFile != "" {
+		err := runRouter(routerOptions{
+			addr:             *addr,
+			replicas:         *router,
+			replicasFile:     *replicasFile,
+			hedgeAfter:       *hedgeAfter,
+			maxHedges:        *maxHedges,
+			vnodes:           *vnodes,
+			timeout:          *timeout,
+			grace:            *grace,
+			healthInterval:   *healthInterval,
+			healthTimeout:    *healthTimeout,
+			failAfter:        *failAfter,
+			recoverAfter:     *recoverAfter,
+			breakerFailures:  *breakerFailures,
+			breakerCooldown:  *breakerCooldown,
+			breakerSuccesses: *breakerSuccesses,
+			rebalanceWorkers: *rebalanceWorkers,
+			rebalanceRetries: *rebalanceRetries,
+			journal:          *rebalanceJournal,
+		})
+		if err != nil {
+			log.Fatalf("ddd-serve: %v", err)
+		}
+		return
+	}
+	if *dicts == "" {
+		fmt.Fprintln(os.Stderr, "ddd-serve: -dicts is required (or -router/-replicas-file for router mode)")
+		flag.Usage()
+		os.Exit(2)
 	}
 	if err := run(*addr, *dicts, *cacheMB, *shards, *workers, *queue, *batchWorkers, *timeout, *loadRetries, *preload, *grace, *pprofFlag, *engineName); err != nil {
 		log.Fatalf("ddd-serve: %v", err)
@@ -163,30 +205,122 @@ func shutdown(srv *service.Server, grace time.Duration) error {
 	return srv.Shutdown(ctx)
 }
 
+// routerOptions carries the router-mode flag values.
+type routerOptions struct {
+	addr         string
+	replicas     string
+	replicasFile string
+	hedgeAfter   time.Duration
+	maxHedges    int
+	vnodes       int
+	timeout      time.Duration
+	grace        time.Duration
+
+	healthInterval time.Duration
+	healthTimeout  time.Duration
+	failAfter      int
+	recoverAfter   int
+
+	breakerFailures  int
+	breakerCooldown  time.Duration
+	breakerSuccesses int
+
+	rebalanceWorkers int
+	rebalanceRetries int
+	journal          string
+}
+
 // runRouter runs the process as the sharded tier's router until
-// SIGINT/SIGTERM.
-func runRouter(addr, replicas string, hedgeAfter time.Duration, maxHedges, vnodes int, timeout, grace time.Duration) error {
+// SIGINT/SIGTERM, watching the replicas file (when given) for
+// membership edits.
+func runRouter(opt routerOptions) error {
+	var replicas []string
+	switch {
+	case opt.replicasFile != "" && opt.replicas != "":
+		return fmt.Errorf("-router and -replicas-file are mutually exclusive")
+	case opt.replicasFile != "":
+		var err error
+		if replicas, err = service.LoadReplicasFile(opt.replicasFile); err != nil {
+			return err
+		}
+	default:
+		replicas = strings.Split(opt.replicas, ",")
+	}
 	rt, err := service.NewRouter(service.RouterConfig{
-		Replicas:       strings.Split(replicas, ","),
-		VNodes:         vnodes,
-		HedgeAfter:     hedgeAfter,
-		MaxHedges:      maxHedges,
-		RequestTimeout: timeout,
+		Replicas:         replicas,
+		VNodes:           opt.vnodes,
+		HedgeAfter:       opt.hedgeAfter,
+		MaxHedges:        opt.maxHedges,
+		RequestTimeout:   opt.timeout,
+		HealthInterval:   opt.healthInterval,
+		HealthTimeout:    opt.healthTimeout,
+		FailAfter:        opt.failAfter,
+		RecoverAfter:     opt.recoverAfter,
+		BreakerFailures:  opt.breakerFailures,
+		BreakerCooldown:  opt.breakerCooldown,
+		BreakerSuccesses: opt.breakerSuccesses,
+		RebalanceWorkers: opt.rebalanceWorkers,
+		RebalanceRetries: opt.rebalanceRetries,
+		JournalPath:      opt.journal,
 	})
 	if err != nil {
 		return err
 	}
-	if err := rt.Start(addr); err != nil {
+	if err := rt.Start(opt.addr); err != nil {
 		return err
 	}
-	log.Printf("routing on %s over %v (hedge after %v, max %d)", rt.Addr(), rt.Ring().Replicas(), hedgeAfter, maxHedges)
+	log.Printf("routing on %s over %v (hedge after %v, max %d, health interval %v)",
+		rt.Addr(), rt.Ring().Replicas(), opt.hedgeAfter, opt.maxHedges, opt.healthInterval)
+	stopWatch := make(chan struct{})
+	if opt.replicasFile != "" {
+		go watchReplicasFile(rt, opt.replicasFile, stopWatch)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(stopWatch)
 	log.Printf("shutting down router")
-	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	ctx, cancel := context.WithTimeout(context.Background(), opt.grace)
 	defer cancel()
 	return rt.Shutdown(ctx)
+}
+
+// watchReplicasFile polls the replicas file's mtime and applies edits
+// to the router's membership. Polling (2s) rather than inotify keeps
+// the dependency surface at the standard library, and a membership
+// edit is an operator action — seconds of latency is fine.
+func watchReplicasFile(rt *service.Router, path string, stop <-chan struct{}) {
+	var lastMod time.Time
+	if st, err := os.Stat(path); err == nil {
+		lastMod = st.ModTime()
+	}
+	tick := time.NewTicker(2 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		st, err := os.Stat(path)
+		if err != nil || !st.ModTime().After(lastMod) {
+			continue
+		}
+		lastMod = st.ModTime()
+		urls, err := service.LoadReplicasFile(path)
+		if err != nil {
+			log.Printf("replicas file %s: %v (keeping current membership)", path, err)
+			continue
+		}
+		changed, err := rt.ApplyReplicas(urls)
+		if err != nil {
+			log.Printf("replicas file %s: %v (keeping current membership)", path, err)
+			continue
+		}
+		if changed {
+			log.Printf("replicas file %s applied: membership now %v", path, rt.Membership().MemberURLs())
+		}
+	}
 }
 
 // preloadList expands the -preload flag: empty, "all" (every *.dict in

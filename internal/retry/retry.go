@@ -1,0 +1,89 @@
+// Package retry provides the repo's one implementation of capped
+// exponential backoff with deterministic half-jitter. Three callers
+// share it — the dictionary cache's load retries, the router's health
+// prober (a constant jittered interval is the degenerate Base == Max
+// case), and the rebalancer's snapshot-transfer retries — so the
+// backoff shape is tuned, tested and reasoned about exactly once.
+//
+// Determinism contract: the delay for (key, attempt) is a pure
+// function of the policy and those two values. A replayed failure
+// schedule sleeps identically (chaos runs are reproducible), while
+// distinct keys decorrelate through the repo's splittable seeding —
+// when many keys fail at once their retries spread out instead of
+// thundering back on the same beat.
+package retry
+
+import (
+	"context"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Backoff is a capped exponential backoff policy with deterministic
+// half-jitter: attempt n's raw delay is Base<<n capped at Max, and the
+// returned delay is drawn from [raw/2, raw) by a jitter fraction
+// derived from (key, attempt). Base == Max yields a constant jittered
+// interval — the health prober's polling cadence.
+type Backoff struct {
+	// Base is attempt 0's raw delay; it doubles per attempt.
+	Base time.Duration
+	// Max caps the raw delay (overflow also clamps to Max).
+	Max time.Duration
+}
+
+// jitterFrac returns the deterministic jitter fraction in [0, 1) for
+// (key, attempt): the key seeds an FNV-1a hash whose splitMix64
+// derivation at index attempt supplies the draw.
+func jitterFrac(key string, attempt int) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return float64(rng.Derive(h.Sum64(), uint64(attempt))%1024) / 1024
+}
+
+// Delay returns attempt's sleep (attempt counts from 0).
+func (b Backoff) Delay(key string, attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	d := b.Base
+	if attempt >= 63 {
+		d = b.Max
+	} else {
+		d <<= uint(attempt)
+		if d > b.Max || d <= 0 {
+			d = b.Max
+		}
+	}
+	return d/2 + time.Duration(float64(d/2)*jitterFrac(key, attempt))
+}
+
+// Do runs f up to attempts times (at least once), sleeping the policy
+// delay between failures. It returns nil on the first success, ctx's
+// error if the context dies first, and otherwise f's last error. The
+// sleep for retry n (n counting from 0) is Delay(key, n), so a fixed
+// (policy, key, failure-count) triple replays an identical schedule.
+func Do(ctx context.Context, b Backoff, key string, attempts int, f func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = f(); err == nil {
+			return nil
+		}
+		if attempt == attempts-1 {
+			break
+		}
+		select {
+		case <-time.After(b.Delay(key, attempt)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return err
+}

@@ -1,0 +1,119 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDelayTable(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 250 * time.Millisecond}
+	cases := []struct {
+		attempt int
+		raw     time.Duration // the un-jittered delay the attempt caps to
+	}{
+		{0, 10 * time.Millisecond},
+		{1, 20 * time.Millisecond},
+		{2, 40 * time.Millisecond},
+		{3, 80 * time.Millisecond},
+		{4, 160 * time.Millisecond},
+		{5, 250 * time.Millisecond}, // 320ms raw, capped
+		{12, 250 * time.Millisecond},
+		{64, 250 * time.Millisecond},  // past the shift width
+		{200, 250 * time.Millisecond}, // deep attempts stay capped
+		{-3, 10 * time.Millisecond},   // clamped to attempt 0
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("attempt=%d", tc.attempt), func(t *testing.T) {
+			d := b.Delay("dict-a", tc.attempt)
+			if d < tc.raw/2 || d >= tc.raw {
+				t.Errorf("Delay = %v, want half-jittered in [%v, %v)", d, tc.raw/2, tc.raw)
+			}
+		})
+	}
+}
+
+func TestDelayDeterministicPerKey(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 250 * time.Millisecond}
+	for attempt := 0; attempt < 6; attempt++ {
+		if a, b2 := b.Delay("k", attempt), b.Delay("k", attempt); a != b2 {
+			t.Fatalf("attempt %d: same (key, attempt) drew %v then %v", attempt, a, b2)
+		}
+	}
+	// Distinct keys decorrelate: over several attempts at least one
+	// delay must differ (identical schedules would re-synchronize a
+	// thundering herd).
+	same := true
+	for attempt := 0; attempt < 8 && same; attempt++ {
+		same = b.Delay("dict-a", attempt) == b.Delay("dict-b", attempt)
+	}
+	if same {
+		t.Error("keys dict-a and dict-b replay identical jitter schedules")
+	}
+}
+
+func TestDelayConstantInterval(t *testing.T) {
+	// Base == Max is the prober's cadence: every attempt jitters around
+	// the same interval instead of growing.
+	b := Backoff{Base: 100 * time.Millisecond, Max: 100 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		d := b.Delay("http://replica-1", attempt)
+		if d < 50*time.Millisecond || d >= 100*time.Millisecond {
+			t.Fatalf("attempt %d: %v outside [50ms, 100ms)", attempt, d)
+		}
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	calls := 0
+	err := Do(context.Background(), b, "k", 5, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Max: time.Millisecond}
+	want := errors.New("permanent")
+	calls := 0
+	err := Do(context.Background(), b, "k", 3, func() error { calls++; return want })
+	if !errors.Is(err, want) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want %v after exactly 3", err, calls, want)
+	}
+	// attempts < 1 still runs once.
+	calls = 0
+	if err := Do(context.Background(), b, "k", 0, func() error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("Do(attempts=0) = %v after %d calls, want nil after 1", err, calls)
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Do(ctx, Backoff{Base: time.Millisecond, Max: time.Millisecond}, "k", 3,
+		func() error { calls++; return errors.New("x") })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("Do on dead ctx = %v after %d calls, want context.Canceled after 0", err, calls)
+	}
+	// Cancellation between attempts wins over the sleep.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	calls = 0
+	err = Do(ctx2, Backoff{Base: time.Hour, Max: time.Hour}, "k", 3, func() error {
+		calls++
+		cancel2()
+		return errors.New("x")
+	})
+	if !errors.Is(err, context.Canceled) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want context.Canceled after 1", err, calls)
+	}
+}

@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/rng"
+	"repro/internal/retry"
 )
 
 // Entry is one resident dictionary: the compressed form, the input
@@ -28,13 +28,13 @@ type Entry struct {
 // cache deduplicates concurrent loads.
 type Loader func(id string) (*Entry, error)
 
-// Retry bounds for loader retries. The base doubles per attempt up to
-// the cap; the actual sleep is the deterministic half-jittered backoff
-// computed in backoffDelay.
-const (
-	retryBaseDelay = 10 * time.Millisecond
-	retryMaxDelay  = 250 * time.Millisecond
-)
+// loadBackoff bounds loader retries: the base doubles per attempt up
+// to the cap, and the actual sleep is the shared deterministic
+// half-jittered backoff (internal/retry) keyed by dictionary id.
+var loadBackoff = retry.Backoff{
+	Base: 10 * time.Millisecond,
+	Max:  250 * time.Millisecond,
+}
 
 // Cache is a sharded, concurrency-safe LRU over compressed
 // dictionaries with byte-size accounting. Each shard holds its own
@@ -198,7 +198,7 @@ func (c *Cache) load(ctx context.Context, id string) (*Entry, error) {
 		}
 		c.retries.Add(1)
 		select {
-		case <-time.After(backoffDelay(id, attempt)):
+		case <-time.After(loadBackoff.Delay(id, attempt)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -210,22 +210,6 @@ func (c *Cache) load(ctx context.Context, id string) (*Entry, error) {
 // read, injected fault) is treated as transient.
 func retryable(err error) bool {
 	return !errors.Is(err, fs.ErrNotExist)
-}
-
-// backoffDelay computes attempt's sleep: capped exponential growth
-// from retryBaseDelay with deterministic half-jitter — the jitter is
-// derived from (id, attempt) with the repo's splittable seeding, so a
-// replayed failure schedule sleeps identically while distinct ids
-// still decorrelate (no thundering herd when many ids fail at once).
-func backoffDelay(id string, attempt int) time.Duration {
-	d := retryBaseDelay << uint(attempt)
-	if d > retryMaxDelay || d <= 0 {
-		d = retryMaxDelay
-	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(id))
-	frac := float64(rng.Derive(h.Sum64(), uint64(attempt))%1024) / 1024
-	return d/2 + time.Duration(float64(d/2)*frac)
 }
 
 // Invalidate drops id from the cache if resident, so the next Get

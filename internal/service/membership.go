@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Membership is the router's dynamic replica view: the set of
+// configured members (admin join/leave, -replicas-file reload) crossed
+// with per-replica health (the prober's hysteresis counters), and the
+// consistent-hash ring rebuilt over the live subset on every
+// transition. The ring's bounded-movement property (ring.go) is what
+// makes rebuilding cheap to act on: a transition moves about 1/n of
+// the key space, and the rebalancer only has to warm that slice.
+//
+// All reads take a snapshot under RLock; the ring pointer itself is
+// immutable once built, so request paths grab it once and route the
+// whole request against a consistent view.
+type Membership struct {
+	mu     sync.RWMutex
+	vnodes int
+	// members maps replica URL -> health record for every configured
+	// member, live or not.
+	members map[string]*memberHealth
+	// ring covers the live members. When every member is down the last
+	// ring is retained: routing somewhere that might answer beats
+	// routing nowhere, and the breakers fail the attempts fast.
+	ring    *Ring
+	version uint64
+}
+
+// memberHealth is one member's hysteresis state.
+type memberHealth struct {
+	up          bool
+	consecFails int
+	consecOKs   int
+}
+
+// MemberStatus is the externally visible state of one member
+// (RouterStats, /readyz, admin responses).
+type MemberStatus struct {
+	Replica string `json:"replica"`
+	// State is "up", "down", or (synthesized by the rebalancer view)
+	// "draining".
+	State       string `json:"state"`
+	ConsecFails int    `json:"consec_fails,omitempty"`
+	ConsecOKs   int    `json:"consec_oks,omitempty"`
+	// Breaker is the replica's circuit state ("closed", "half-open",
+	// "open"); filled by Router.Stats, empty elsewhere.
+	Breaker string `json:"breaker,omitempty"`
+}
+
+// newMembership starts with every replica a live member (optimistic:
+// the prober demotes the dead ones within its hysteresis budget, and
+// the breakers shield requests in the meantime).
+func newMembership(replicas []string, vnodes int) (*Membership, error) {
+	m := &Membership{vnodes: vnodes, members: make(map[string]*memberHealth, len(replicas))}
+	for _, r := range replicas {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			return nil, fmt.Errorf("service: empty replica URL")
+		}
+		m.members[r] = &memberHealth{up: true}
+	}
+	if err := m.rebuildLocked(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// rebuildLocked recomputes the ring over the live member set. Caller
+// holds mu. With zero live members the previous ring is kept (see the
+// field comment); with zero members at all this is an error.
+func (m *Membership) rebuildLocked() error {
+	if len(m.members) == 0 {
+		return fmt.Errorf("service: membership needs at least one replica")
+	}
+	live := make([]string, 0, len(m.members))
+	for url, h := range m.members {
+		if h.up {
+			live = append(live, url)
+		}
+	}
+	sort.Strings(live) // canonical order (NewRing sorts too, but order must never leak)
+	m.version++
+	if len(live) == 0 {
+		return nil
+	}
+	ring, err := NewRing(live, m.vnodes)
+	if err != nil {
+		return err
+	}
+	m.ring = ring
+	return nil
+}
+
+// Ring returns the current placement ring (immutable snapshot).
+func (m *Membership) Ring() *Ring {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ring
+}
+
+// Version counts membership transitions (any ring rebuild).
+func (m *Membership) Version() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.version
+}
+
+// MemberURLs returns every configured member, sorted.
+func (m *Membership) MemberURLs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.members))
+	for url := range m.members {
+		out = append(out, url)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Live returns the live members, sorted.
+func (m *Membership) Live() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.members))
+	for url, h := range m.members {
+		if h.up {
+			out = append(out, url)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsLive reports whether url is a live member.
+func (m *Membership) IsLive(url string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h, ok := m.members[url]
+	return ok && h.up
+}
+
+// Members snapshots every member's status, sorted by URL.
+func (m *Membership) Members() []MemberStatus {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]MemberStatus, 0, len(m.members))
+	for url, h := range m.members {
+		st := MemberStatus{Replica: url, State: "down", ConsecFails: h.consecFails, ConsecOKs: h.consecOKs}
+		if h.up {
+			st.State = "up"
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Replica < out[j].Replica })
+	return out
+}
+
+// Join adds url as a live member. Idempotent: joining an existing
+// member reports no change. Returns whether membership changed.
+func (m *Membership) Join(url string) (bool, error) {
+	url = strings.TrimSpace(url)
+	if url == "" {
+		return false, fmt.Errorf("service: empty replica URL")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.members[url]; ok {
+		return false, nil
+	}
+	m.members[url] = &memberHealth{up: true}
+	return true, m.rebuildLocked()
+}
+
+// Leave removes url from the membership. The replica may still be
+// alive — an operator draining it — so the rebalancer can keep using
+// it as a snapshot source while its keys move. Returns whether
+// membership changed; removing the last member is refused.
+func (m *Membership) Leave(url string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.members[url]; !ok {
+		return false, nil
+	}
+	if len(m.members) == 1 {
+		return false, fmt.Errorf("service: refusing to remove the last member %q", url)
+	}
+	delete(m.members, url)
+	return true, m.rebuildLocked()
+}
+
+// SetMembers reconciles the membership to exactly urls (the
+// -replicas-file reload path): new URLs join live, missing ones
+// leave. Health state of retained members is preserved. Returns
+// whether anything changed.
+func (m *Membership) SetMembers(urls []string) (bool, error) {
+	want := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		want[u] = true
+	}
+	if len(want) == 0 {
+		return false, fmt.Errorf("service: replica set cannot be empty")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	changed := false
+	for url := range want {
+		if _, ok := m.members[url]; !ok {
+			m.members[url] = &memberHealth{up: true}
+			changed = true
+		}
+	}
+	for url := range m.members {
+		if !want[url] {
+			delete(m.members, url)
+			changed = true
+		}
+	}
+	if !changed {
+		return false, nil
+	}
+	return true, m.rebuildLocked()
+}
+
+// ReportProbe feeds one health-probe outcome into the hysteresis
+// counters: failAfter consecutive failures demote an up member,
+// recoverAfter consecutive successes promote a down one. Returns
+// whether the member transitioned (and the ring was rebuilt). Probes
+// for URLs that left the membership are ignored.
+func (m *Membership) ReportProbe(url string, ok bool, failAfter, recoverAfter int) (transitioned, nowUp bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, exists := m.members[url]
+	if !exists {
+		return false, false
+	}
+	if ok {
+		h.consecFails, h.consecOKs = 0, h.consecOKs+1
+		if !h.up && h.consecOKs >= recoverAfter {
+			h.up = true
+			_ = m.rebuildLocked()
+			return true, true
+		}
+	} else {
+		h.consecOKs, h.consecFails = 0, h.consecFails+1
+		if h.up && h.consecFails >= failAfter {
+			h.up = false
+			_ = m.rebuildLocked()
+			return true, false
+		}
+	}
+	return false, h.up
+}
+
+// LoadReplicasFile parses a replicas file: one base URL per line,
+// blank lines and #-comments ignored.
+func LoadReplicasFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var urls []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		urls = append(urls, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("service: %s lists no replicas", path)
+	}
+	return urls, nil
+}

@@ -4,14 +4,17 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -28,8 +31,16 @@ import (
 // the same request is launched against the next distinct replica on
 // the ring (the loser is cancelled through its request context the
 // moment a winner lands). Transport errors and retryable statuses
-// (429/502/503/504) fail over to the next replica immediately. Both
-// ladders are bounded by MaxHedges.
+// (404/429/502/503/504) fail over to the next replica immediately.
+// Both ladders are bounded by MaxHedges.
+//
+// The tier is self-healing: membership is dynamic (membership.go,
+// admin join/leave plus replicas-file reload), replicas are actively
+// health-checked with hysteresis (health.go), per-replica circuit
+// breakers skip dead targets at request speed (breaker.go), and every
+// membership transition triggers an automatic dictionary rebalance
+// over the SHA-256-verified snapshot channel (rebalance.go), with the
+// overlay proxying to the old owner until the new one is warm.
 type RouterConfig struct {
 	// Replicas are the backend base URLs ("http://host:port"). At
 	// least one is required; order is irrelevant (the ring sorts).
@@ -49,6 +60,45 @@ type RouterConfig struct {
 	// Client is the upstream HTTP client (default: a fresh
 	// http.Client; per-attempt deadlines come from request contexts).
 	Client *http.Client
+
+	// HealthInterval is the per-replica health-probe cadence. Zero
+	// disables active health checking: membership stays whatever the
+	// admin endpoints make it (the PR-8 static behavior, and what unit
+	// tests use for determinism). ddd-serve defaults it on.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one /readyz probe (default 2s, clamped to
+	// HealthInterval when that is shorter).
+	HealthTimeout time.Duration
+	// FailAfter is the consecutive probe failures that demote a member
+	// out of the ring (default 3).
+	FailAfter int
+	// RecoverAfter is the consecutive probe successes that promote a
+	// down member back (default 2).
+	RecoverAfter int
+
+	// BreakerFailures is the consecutive transport errors that open a
+	// replica's circuit (default 3).
+	BreakerFailures int
+	// BreakerSuccesses is the consecutive half-open probe successes
+	// that close it again (default 2).
+	BreakerSuccesses int
+	// BreakerCooldown is how long an open circuit rejects before
+	// admitting a half-open probe (default 2s).
+	BreakerCooldown time.Duration
+
+	// RebalanceWorkers bounds concurrent snapshot transfers during a
+	// rebalance pass (default 2).
+	RebalanceWorkers int
+	// RebalanceRetries is the per-transfer retry budget beyond the
+	// first attempt (default 3).
+	RebalanceRetries int
+	// JournalPath, when set, appends a JSONL record per planned and
+	// finished transfer; on startup a journal whose tail holds
+	// unfinished plans kicks an immediate reconcile (restart resume).
+	JournalPath string
+
+	// now is the breaker clock seam for tests (default time.Now).
+	now func() time.Time
 }
 
 func (cfg *RouterConfig) applyDefaults() {
@@ -69,11 +119,26 @@ func (cfg *RouterConfig) applyDefaults() {
 	}
 }
 
+// faultProxyError makes one router attempt fail with a synthetic
+// transport error before contacting the replica — the deterministic
+// stand-in for a mid-request connection drop. It trips circuit
+// breakers exactly like a real dial failure.
+var faultProxyError = fault.Register("proxy-error")
+
+// errAllBreakersOpen is forward's fast-fail when every target on the
+// attempt ladder has an open circuit: no connection is attempted and
+// the client gets an immediate 503.
+var errAllBreakersOpen = errors.New("service: every replica circuit is open")
+
 // Router is the sharded serving tier's front door.
 type Router struct {
-	cfg  RouterConfig
-	ring *Ring
-	mux  *http.ServeMux
+	cfg RouterConfig
+	mux *http.ServeMux
+
+	ms       *Membership
+	breakers *breakerSet
+	reb      *rebalancer
+	prober   *prober
 
 	reg       *obs.Registry
 	forwards  *obs.Counter
@@ -81,20 +146,37 @@ type Router struct {
 	hedgeWins *obs.Counter
 	failovers *obs.Counter
 	upErrors  *obs.Counter
+	fastFails *obs.Counter
 	latency   *obs.Histogram
 
-	httpSrv *http.Server
-	ln      net.Listener
+	// metricMu guards metricReplicas, the set of replica URLs whose
+	// per-replica gauges are registered (obs panics on duplicates, and
+	// replicas can join at runtime).
+	metricMu       sync.Mutex
+	metricReplicas map[string]bool
+
+	closeOnce sync.Once
+	httpSrv   *http.Server
+	ln        net.Listener
 }
 
-// NewRouter builds a router over cfg.Replicas.
+// NewRouter builds a router over cfg.Replicas and starts its
+// background machinery (rebalancer loop; health probers when
+// HealthInterval > 0). Callers that never Start a listener must still
+// Close (Shutdown implies it).
 func NewRouter(cfg RouterConfig) (*Router, error) {
 	cfg.applyDefaults()
-	ring, err := NewRing(cfg.Replicas, cfg.VNodes)
+	ms, err := newMembership(cfg.Replicas, cfg.VNodes)
 	if err != nil {
 		return nil, err
 	}
-	rt := &Router{cfg: cfg, ring: ring, reg: obs.NewRegistry()}
+	rt := &Router{
+		cfg:            cfg,
+		ms:             ms,
+		breakers:       newBreakerSet(cfg.BreakerFailures, cfg.BreakerSuccesses, cfg.BreakerCooldown, cfg.now),
+		reg:            obs.NewRegistry(),
+		metricReplicas: make(map[string]bool),
+	}
 	rt.forwards = rt.reg.Counter("ddd_router_forwards_total",
 		"requests forwarded to replicas (first attempts)", nil)
 	rt.hedges = rt.reg.Counter("ddd_router_hedges_total",
@@ -105,8 +187,25 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		"attempts relaunched after a transport error or retryable status", nil)
 	rt.upErrors = rt.reg.Counter("ddd_router_upstream_errors_total",
 		"attempts that ended in a transport error", nil)
+	rt.fastFails = rt.reg.Counter("ddd_router_breaker_fast_fails_total",
+		"requests rejected because every target circuit was open", nil)
 	rt.latency = rt.reg.Histogram("ddd_router_request_duration_seconds",
 		"routed request latency, all attempts included", nil, obs.LatencyBuckets)
+
+	rt.reb, err = newRebalancer(rt)
+	if err != nil {
+		return nil, err
+	}
+	rt.reg.CounterFunc("ddd_rebalance_transfers_total",
+		"rebalance snapshot transfers by outcome", obs.Labels{"result": "ok"},
+		func() float64 { return float64(rt.reb.completed.Load()) })
+	rt.reg.CounterFunc("ddd_rebalance_transfers_total",
+		"rebalance snapshot transfers by outcome", obs.Labels{"result": "error"},
+		func() float64 { return float64(rt.reb.failed.Load()) })
+	rt.reg.CounterFunc("ddd_rebalance_transfers_total",
+		"rebalance snapshot transfers by outcome", obs.Labels{"result": "unsourced"},
+		func() float64 { return float64(rt.reb.unsourced.Load()) })
+	rt.registerReplicaMetrics()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/diagnose", rt.timed(rt.handleDiagnose))
@@ -119,12 +218,77 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	mux.HandleFunc("GET /stats", rt.handleStats)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	mux.HandleFunc("POST /v1/admin/transfer", rt.handleTransfer)
+	mux.HandleFunc("POST /v1/admin/replicas", rt.handleReplicas)
 	rt.mux = mux
+
+	// Health checking is opt-in (interval > 0): unit tests run static
+	// memberships, deployments converge on boot. The rebalancer loop
+	// always runs — admin joins need it — but only kicks immediately
+	// when the tier self-heals or the journal demands a resume.
+	rt.reb.start(cfg.HealthInterval > 0)
+	if cfg.HealthInterval > 0 {
+		rt.prober = newProber(rt)
+		rt.prober.sync()
+	}
 	return rt, nil
 }
 
-// Ring exposes the placement ring (for tests and tooling).
-func (rt *Router) Ring() *Ring { return rt.ring }
+// registerReplicaMetrics registers the per-replica gauges for every
+// member not yet covered. Gauges are registered once per URL ever seen
+// and keep reporting after a leave (up=0): obs series cannot be
+// unregistered, and a flat zero beats a vanishing series mid-incident.
+func (rt *Router) registerReplicaMetrics() {
+	rt.metricMu.Lock()
+	defer rt.metricMu.Unlock()
+	for _, url := range rt.ms.MemberURLs() {
+		if rt.metricReplicas[url] {
+			continue
+		}
+		rt.metricReplicas[url] = true
+		url := url
+		rt.reg.GaugeFunc("ddd_replica_up",
+			"1 when the replica is a live ring member", obs.Labels{"replica": url},
+			func() float64 {
+				if rt.ms.IsLive(url) {
+					return 1
+				}
+				return 0
+			})
+		rt.reg.GaugeFunc("ddd_breaker_state",
+			"replica circuit state (0 closed, 1 half-open, 2 open)", obs.Labels{"replica": url},
+			func() float64 { return float64(rt.breakers.get(url).State()) })
+	}
+}
+
+// membershipChanged runs the post-transition fan-out shared by the
+// admin endpoints and ApplyReplicas: cover new members with metrics
+// and probe loops, then let the rebalancer reconcile placement.
+func (rt *Router) membershipChanged() {
+	rt.registerReplicaMetrics()
+	if rt.prober != nil {
+		rt.prober.sync()
+	}
+	rt.reb.Kick()
+}
+
+// ApplyReplicas reconciles the membership to exactly urls (the
+// -replicas-file reload path). Reports whether anything changed.
+func (rt *Router) ApplyReplicas(urls []string) (bool, error) {
+	changed, err := rt.ms.SetMembers(urls)
+	if err != nil {
+		return false, err
+	}
+	if changed {
+		rt.membershipChanged()
+	}
+	return changed, nil
+}
+
+// Ring exposes the current placement ring (for tests and tooling).
+func (rt *Router) Ring() *Ring { return rt.ms.Ring() }
+
+// Membership exposes the dynamic replica view.
+func (rt *Router) Membership() *Membership { return rt.ms }
 
 // Handler returns the router's HTTP handler.
 func (rt *Router) Handler() http.Handler { return rt.mux }
@@ -138,9 +302,25 @@ func (rt *Router) timed(h http.HandlerFunc) http.HandlerFunc {
 }
 
 // owners returns the attempt ladder for key: the owner plus up to
-// MaxHedges distinct successors on the ring.
+// MaxHedges distinct successors on the current ring. While a
+// rebalance is moving key's dictionary, the warm source replica is
+// prepended — the new owner answers 404 until its snapshot lands, and
+// routing to the source first keeps latency flat instead of paying a
+// failover hop per request.
 func (rt *Router) owners(key string) []string {
-	return rt.ring.Owners(key, 1+rt.cfg.MaxHedges)
+	ladder := rt.ms.Ring().Owners(key, 1+rt.cfg.MaxHedges)
+	src, ok := rt.reb.redirect(key)
+	if !ok {
+		return ladder
+	}
+	out := make([]string, 0, len(ladder)+1)
+	out = append(out, src)
+	for _, t := range ladder {
+		if t != src {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // upstreamResult is one attempt's complete response.
@@ -151,10 +331,16 @@ type upstreamResult struct {
 }
 
 // retryableStatus reports statuses a different replica might answer
-// better: backpressure, drain, deadline, and bad-gateway.
+// better: backpressure, drain, deadline, bad-gateway — and not-found.
+// 404 joined the list with dynamic membership: mid-rebalance a
+// dictionary's new owner answers 404 until its snapshot lands, and the
+// ring's successor property makes the next rung of the ladder exactly
+// the previous owner. A dictionary that exists nowhere still yields a
+// single-node-identical 404 — every replica renders the same error
+// bytes, and the ladder relays the last one.
 func retryableStatus(code int) bool {
 	switch code {
-	case http.StatusTooManyRequests, http.StatusBadGateway,
+	case http.StatusNotFound, http.StatusTooManyRequests, http.StatusBadGateway,
 		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		return true
 	}
@@ -169,6 +355,10 @@ type attemptOutcome struct {
 
 // attempt performs one upstream request and reads the full response.
 func (rt *Router) attempt(ctx context.Context, idx int, method, url, contentType string, body []byte) attemptOutcome {
+	if faultProxyError.Hit() {
+		rt.upErrors.Inc()
+		return attemptOutcome{idx: idx, err: fmt.Errorf("service: injected proxy error for %s", url)}
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -202,6 +392,14 @@ func (rt *Router) attempt(ctx context.Context, idx int, method, url, contentType
 // attempt is cancelled through its context — the PR-4 plumbing
 // (handler ctx -> batch ctx -> worker skip) turns that cancellation
 // into a freed worker slot on the losing replica.
+//
+// Each launch consults the target's circuit breaker: open circuits
+// are skipped without burning a connection, and if every target is
+// open the request fast-fails with errAllBreakersOpen. Breaker
+// verdicts come from the attempt itself — an answer of any status
+// reports success (the replica is alive), a transport error reports
+// failure, and a cancelled attempt (hedge loser, request timeout)
+// reports nothing so losers never poison a circuit.
 func (rt *Router) forward(ctx context.Context, method, path, contentType string, body []byte, targets []string) (*upstreamResult, error) {
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.RequestTimeout)
 	defer cancel()
@@ -216,15 +414,40 @@ func (rt *Router) forward(ctx context.Context, method, path, contentType string,
 			}
 		}
 	}()
-	launched := 0
-	launch := func() {
-		i := launched
-		actx, acancel := context.WithCancel(ctx)
-		cancels[i] = acancel
-		go func() { results <- rt.attempt(actx, i, method, targets[i]+path, contentType, body) }()
-		launched++
+	next := 0
+	firstLaunched := -1
+	// launch starts the next target whose circuit admits a request,
+	// skipping open breakers; it reports whether anything launched.
+	launch := func() bool {
+		for next < len(targets) {
+			i := next
+			next++
+			br := rt.breakers.get(targets[i])
+			if !br.Allow() {
+				continue
+			}
+			if firstLaunched < 0 {
+				firstLaunched = i
+			}
+			actx, acancel := context.WithCancel(ctx)
+			cancels[i] = acancel
+			go func() {
+				out := rt.attempt(actx, i, method, targets[i]+path, contentType, body)
+				if out.err != nil && actx.Err() != nil {
+					br.Cancelled()
+				} else {
+					br.Report(out.err == nil)
+				}
+				results <- out
+			}()
+			return true
+		}
+		return false
 	}
-	launch()
+	if !launch() {
+		rt.fastFails.Inc()
+		return nil, errAllBreakersOpen
+	}
 	timer := time.NewTimer(rt.cfg.HedgeAfter)
 	defer timer.Stop()
 
@@ -236,7 +459,7 @@ func (rt *Router) forward(ctx context.Context, method, path, contentType string,
 		case out := <-results:
 			pending--
 			if out.err == nil && !retryableStatus(out.res.status) {
-				if out.idx > 0 {
+				if out.idx > firstLaunched {
 					rt.hedgeWins.Inc()
 				}
 				return out.res, nil
@@ -246,17 +469,15 @@ func (rt *Router) forward(ctx context.Context, method, path, contentType string,
 			} else {
 				lastRes = out.res
 			}
-			if launched < len(targets) {
-				// Immediate failover: the newest attempt failed, so the
-				// hedge budget is moot — consult the next replica now.
+			// Immediate failover: the newest attempt failed, so the
+			// hedge budget is moot — consult the next replica now.
+			if launch() {
 				rt.failovers.Inc()
-				launch()
 				pending++
 			}
 		case <-timer.C:
-			if launched < len(targets) {
+			if launch() {
 				rt.hedges.Inc()
-				launch()
 				pending++
 				timer.Reset(rt.cfg.HedgeAfter)
 			}
@@ -265,11 +486,25 @@ func (rt *Router) forward(ctx context.Context, method, path, contentType string,
 		}
 	}
 	// Every attempt failed. Prefer a structured upstream response
-	// (429/503/504 with its Retry-After) over a bare transport error.
+	// (404/429/503/504 with its headers) over a bare transport error.
 	if lastRes != nil {
 		return lastRes, nil
 	}
-	return nil, lastErr
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, errAllBreakersOpen
+}
+
+// writeForwardError maps forward's terminal errors onto client
+// responses: a breaker fast-fail is backpressure (503, retryable), an
+// exhausted ladder is a bad gateway.
+func (rt *Router) writeForwardError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errAllBreakersOpen) {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadGateway, "all replicas failed: "+err.Error())
 }
 
 // writeUpstream relays a replica's response verbatim: status, body
@@ -315,7 +550,7 @@ func (rt *Router) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	_ = json.Unmarshal(body, &peek)
 	res, err := rt.forward(r.Context(), http.MethodPost, "/v1/diagnose", "application/json", body, rt.owners(peek.Dict))
 	if err != nil {
-		writeError(w, http.StatusBadGateway, "all replicas failed: "+err.Error())
+		rt.writeForwardError(w, err)
 		return
 	}
 	writeUpstream(w, res)
@@ -353,7 +588,7 @@ func (rt *Router) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 	forwardWhole := func(key string) {
 		res, err := rt.forward(r.Context(), http.MethodPost, "/v1/diagnose/batch", "application/json", body, rt.owners(key))
 		if err != nil {
-			writeError(w, http.StatusBadGateway, "all replicas failed: "+err.Error())
+			rt.writeForwardError(w, err)
 			return
 		}
 		writeUpstream(w, res)
@@ -380,12 +615,13 @@ func (rt *Router) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	groups := make(map[string]*group)
 	order := make([]string, 0, 4) // owners in first-appearance order
+	ring := rt.ms.Ring()          // one snapshot for the whole batch
 	for i, item := range breq.Requests {
 		var peek struct {
 			Dict string `json:"dict"`
 		}
 		_ = json.Unmarshal(item, &peek)
-		owner := rt.ring.Owner(peek.Dict)
+		owner := ring.Owner(peek.Dict)
 		g, okg := groups[owner]
 		if !okg {
 			g = &group{owner: owner}
@@ -443,7 +679,7 @@ func (rt *Router) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 	sort.Slice(results, func(i, j int) bool { return results[i].g.owner < results[j].g.owner })
 	for _, sr := range results {
 		if sr.err != nil {
-			writeError(w, http.StatusBadGateway, "all replicas failed: "+sr.err.Error())
+			rt.writeForwardError(w, sr.err)
 			return
 		}
 		if sr.res.status != http.StatusOK {
@@ -477,15 +713,17 @@ func keyOf(item json.RawMessage) string {
 	return peek.Dict
 }
 
-// handleDicts implements GET /v1/dicts as the union over all
-// replicas: a dictionary lists if any replica has it, and counts as
-// cached if it is resident anywhere. Sorted by id, deterministic.
+// handleDicts implements GET /v1/dicts as the union over the live
+// replicas: a dictionary lists if any live replica has it, and counts
+// as cached if it is resident anywhere. Sorted by id, deterministic.
+// Down members are skipped — the listing keeps answering through a
+// replica outage, which is the point of the health-checked view.
 func (rt *Router) handleDicts(w http.ResponseWriter, r *http.Request) {
 	type dictInfo struct {
 		ID     string `json:"id"`
 		Cached bool   `json:"cached"`
 	}
-	replicas := rt.ring.Replicas()
+	replicas := rt.ms.Live()
 	type fanResult struct {
 		res *upstreamResult
 		err error
@@ -552,7 +790,7 @@ func (rt *Router) handleDictForward(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := rt.forward(r.Context(), http.MethodGet, path, "", nil, rt.owners(id))
 	if err != nil {
-		writeError(w, http.StatusBadGateway, "all replicas failed: "+err.Error())
+		rt.writeForwardError(w, err)
 		return
 	}
 	if sha := res.header.Get(shaHeader); sha != "" {
@@ -567,30 +805,43 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{"ok"})
 }
 
-// handleReadyz aggregates replica readiness: the router is ready only
-// when every replica answers /readyz 200.
+// handleReadyz aggregates replica readiness over the membership view:
+// the router is ready when at least one member is live and every LIVE
+// member answers /readyz 200. Down members are reported but do not
+// gate — a tier that lost a replica and healed around it IS ready,
+// which is the whole point of self-healing. (Before dynamic
+// membership any single dead replica failed the aggregate.)
 func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	replicas := rt.ring.Replicas()
 	type repReady struct {
 		Replica string `json:"replica"`
+		State   string `json:"state"`
 		Ready   bool   `json:"ready"`
 	}
-	states := make([]repReady, len(replicas))
-	done := make(chan int, len(replicas))
-	for i, rep := range replicas {
-		i, rep := i, rep
+	members := rt.ms.Members()
+	states := make([]repReady, len(members))
+	done := make(chan int, len(members))
+	probes := 0
+	for i, m := range members {
+		states[i] = repReady{Replica: m.Replica, State: m.State}
+		if m.State != "up" {
+			continue
+		}
+		i, rep := i, m.Replica
+		probes++
 		go func() {
 			out := rt.attempt(r.Context(), i, http.MethodGet, rep+"/readyz", "", nil)
-			states[i] = repReady{Replica: rep, Ready: out.err == nil && out.res.status == http.StatusOK}
+			states[i].Ready = out.err == nil && out.res.status == http.StatusOK
 			done <- i
 		}()
 	}
-	for range replicas {
+	for n := 0; n < probes; n++ {
 		<-done
 	}
-	ready := true
+	ready := probes > 0
 	for _, st := range states {
-		ready = ready && st.Ready
+		if st.State == "up" {
+			ready = ready && st.Ready
+		}
 	}
 	status := http.StatusOK
 	if !ready {
@@ -602,29 +853,48 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}{ready, states})
 }
 
-// RouterStats is the /stats document of the router tier.
+// RouterStats is the /stats document of the router tier. Replicas is
+// the current ring (live members); Members is the full configured
+// view with health and breaker state, plus synthetic "draining"
+// entries for departed replicas the rebalancer is still copying from.
 type RouterStats struct {
-	Replicas   []string `json:"replicas"`
-	VNodes     int      `json:"vnodes"`
-	HedgeAfter string   `json:"hedge_after"`
-	MaxHedges  int      `json:"max_hedges"`
-	Forwards   int64    `json:"forwards"`
-	Hedges     int64    `json:"hedges"`
-	HedgeWins  int64    `json:"hedge_wins"`
-	Failovers  int64    `json:"failovers"`
+	Replicas          []string       `json:"replicas"`
+	VNodes            int            `json:"vnodes"`
+	HedgeAfter        string         `json:"hedge_after"`
+	MaxHedges         int            `json:"max_hedges"`
+	Forwards          int64          `json:"forwards"`
+	Hedges            int64          `json:"hedges"`
+	HedgeWins         int64          `json:"hedge_wins"`
+	Failovers         int64          `json:"failovers"`
+	BreakerFastFails  int64          `json:"breaker_fast_fails"`
+	MembershipVersion uint64         `json:"membership_version"`
+	Members           []MemberStatus `json:"members"`
+	Rebalance         RebalanceStats `json:"rebalance"`
 }
 
-// Stats snapshots the router counters.
+// Stats snapshots the router counters and the membership view.
 func (rt *Router) Stats() RouterStats {
+	members := rt.ms.Members()
+	breakers := rt.breakers.states()
+	for i := range members {
+		members[i].Breaker = breakers[members[i].Replica].String()
+	}
+	for _, src := range rt.reb.drainingSources() {
+		members = append(members, MemberStatus{Replica: src, State: "draining", Breaker: breakers[src].String()})
+	}
 	return RouterStats{
-		Replicas:   rt.ring.Replicas(),
-		VNodes:     rt.cfg.VNodes,
-		HedgeAfter: rt.cfg.HedgeAfter.String(),
-		MaxHedges:  rt.cfg.MaxHedges,
-		Forwards:   int64(rt.forwards.Value()),
-		Hedges:     int64(rt.hedges.Value()),
-		HedgeWins:  int64(rt.hedgeWins.Value()),
-		Failovers:  int64(rt.failovers.Value()),
+		Replicas:          rt.ms.Ring().Replicas(),
+		VNodes:            rt.cfg.VNodes,
+		HedgeAfter:        rt.cfg.HedgeAfter.String(),
+		MaxHedges:         rt.cfg.MaxHedges,
+		Forwards:          int64(rt.forwards.Value()),
+		Hedges:            int64(rt.hedges.Value()),
+		HedgeWins:         int64(rt.hedgeWins.Value()),
+		Failovers:         int64(rt.failovers.Value()),
+		BreakerFastFails:  int64(rt.fastFails.Value()),
+		MembershipVersion: rt.ms.Version(),
+		Members:           members,
+		Rebalance:         rt.reb.stats(),
 	}
 }
 
@@ -664,7 +934,7 @@ func (rt *Router) handleTransfer(w http.ResponseWriter, r *http.Request) {
 	}
 	from := req.From
 	if from == "" {
-		from = rt.ring.Owner(req.Dict)
+		from = rt.ms.Ring().Owner(req.Dict)
 	}
 	n, digest, err := TransferSnapshot(r.Context(), rt.cfg.Client, from, req.To, req.Dict)
 	if err != nil {
@@ -678,6 +948,51 @@ func (rt *Router) handleTransfer(w http.ResponseWriter, r *http.Request) {
 		Bytes  int    `json:"bytes"`
 		Sha256 string `json:"sha256"`
 	}{req.Dict, from, req.To, n, digest})
+}
+
+// handleReplicas implements POST /v1/admin/replicas: operator-driven
+// membership changes. {"op":"join","replica":URL} adds a member (it
+// starts live and the rebalancer immediately moves its ring share of
+// dictionaries onto it); {"op":"leave","replica":URL} removes one (the
+// replica may keep running — the rebalancer drains it as a snapshot
+// source while its keys move to the survivors). Idempotent: repeating
+// an op reports changed=false.
+func (rt *Router) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Op      string `json:"op"`
+		Replica string `json:"replica"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var changed bool
+	var err error
+	switch req.Op {
+	case "join":
+		changed, err = rt.ms.Join(req.Replica)
+	case "leave":
+		changed, err = rt.ms.Leave(req.Replica)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown op %q (want \"join\" or \"leave\")", req.Op))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if changed {
+		rt.membershipChanged()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Op      string         `json:"op"`
+		Replica string         `json:"replica"`
+		Changed bool           `json:"changed"`
+		Version uint64         `json:"membership_version"`
+		Members []MemberStatus `json:"members"`
+	}{req.Op, req.Replica, changed, rt.ms.Version(), rt.ms.Members()})
 }
 
 // Start listens on addr and serves in the background (same transport
@@ -711,9 +1026,23 @@ func (rt *Router) Addr() string {
 	return rt.ln.Addr().String()
 }
 
-// Shutdown stops the router gracefully. The replicas drain
-// themselves; the router only has in-flight forwards to wait for.
+// Close stops the router's background machinery — health probers,
+// rebalancer loop, journal — without touching the listener. Safe to
+// call more than once; Shutdown calls it.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() {
+		if rt.prober != nil {
+			rt.prober.stop()
+		}
+		rt.reb.stopAll()
+	})
+}
+
+// Shutdown stops the router gracefully: background machinery first,
+// then the HTTP server. The replicas drain themselves; the router
+// only has in-flight forwards to wait for.
 func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.Close()
 	if rt.httpSrv == nil {
 		return nil
 	}

@@ -155,6 +155,7 @@ func newTestCluster(t *testing.T, n int, mutate func(*RouterConfig)) *testCluste
 }
 
 func (tc *testCluster) close() {
+	tc.router.Close()
 	tc.front.Close()
 	for i, b := range tc.backends {
 		b.Close()
@@ -439,6 +440,7 @@ func TestRouterHedgingEscapesLoadStall(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(rt.Close)
 		front := httptest.NewServer(rt.Handler())
 		t.Cleanup(front.Close)
 		mustConfigure(t, fmt.Sprintf("cache-load-stall:0.5:7:%d", stallMs))
