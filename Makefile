@@ -116,11 +116,14 @@ bench:
 # against the committed baseline (benchmarks/core_baseline.txt) into
 # BENCH_core.json via cmd/ddd-bench. The -check gates fail the target
 # if the MC dictionary build regresses below its recorded 1.5x
-# speedup over the pre-optimization baseline, or the analytic build
-# drops below 10x over the MC build (its baseline lines carry the MC
-# numbers — see the comment in core_baseline.txt). Expect ~1 h wall
-# clock: the dictionary benchmark alone is ~9 s/op x 3 runs, and the
-# baseline was captured with the identical flags.
+# speedup over the pre-optimization baseline, the analytic build
+# drops below 10x over the MC build, or the word-parallel diagnosis
+# kernels (behavior-sim prescreen, tiered suspect pruning) fall below
+# 4x over their committed scalar baselines (the baseline lines carry
+# the scalar-path numbers — see the comment in core_baseline.txt).
+# Expect ~1 h wall clock: the dictionary benchmark alone is
+# ~9 s/op x 3 runs, and the baseline was captured with the identical
+# flags.
 bench-core:
 	$(GO) test -run '^$$' -bench '^BenchmarkCore' -benchmem -count 3 -cpu 1 -timeout 120m . \
 		| tee benchmarks/core_current.txt
@@ -129,7 +132,9 @@ bench-core:
 		-current benchmarks/core_current.txt \
 		-out BENCH_core.json \
 		-check BenchmarkCoreBuildDictionary:1.5 \
-		-check BenchmarkCoreBuildDictionaryAnalytic:10
+		-check BenchmarkCoreBuildDictionaryAnalytic:10 \
+		-check BenchmarkCoreBehaviorSim:4 \
+		-check BenchmarkCoreSuspects:4
 
 # bench-serve measures the service's cache-hit diagnosis path — both
 # the single-node handler stack and the routed path through the
@@ -149,6 +154,7 @@ bench-serve:
 fuzz:
 	$(GO) test ./internal/benchfmt -fuzz=FuzzParse -fuzztime 30s
 	$(GO) test ./internal/core -fuzz=FuzzLoadDictionary -fuzztime 30s
+	$(GO) test ./internal/core -fuzz=FuzzSuspectWords -fuzztime 30s
 	$(GO) test ./internal/eval -fuzz=FuzzCheckpointJournal -fuzztime 30s
 	$(GO) test ./internal/timing -fuzz=FuzzBlockedSTA -fuzztime 30s
 

@@ -167,3 +167,79 @@ func BenchmarkCoreBuildDictionaryAnalytic(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(pats)*len(suspects))*float64(b.N)/b.Elapsed().Seconds(), "sims/s")
 }
+
+// benchDiagSetup prepares the word-parallel diagnosis scenario: the
+// s9234-class circuit, a broad 192-pattern production-style test set,
+// one sampled die, and a deterministic sweep of candidate defect
+// hypotheses spread across the netlist with small-delay sizes from the
+// injector's assumed regime — the dictionary-style workload where most
+// hypotheses provably cannot flip any capture. The last, gross
+// hypothesis is the "observed" failing die the suspect bench prunes.
+func benchDiagSetup(b *testing.B) (m *timing.Model, pats []logicsim.PatternPair, delays []float64, sites []ArcID, sizes []float64, clk float64) {
+	b.Helper()
+	m = benchCoreModel(b)
+	c := m.C
+	r := rng.New(rng.Derive(benchCoreSeed, 31))
+	pats = make([]logicsim.PatternPair, 192)
+	for i := range pats {
+		v1 := make(logicsim.Vector, len(c.Inputs))
+		v2 := make(logicsim.Vector, len(c.Inputs))
+		for k := range v1 {
+			v1[k] = r.Uint64()&1 == 1
+			v2[k] = r.Uint64()&1 == 1
+		}
+		pats[i] = logicsim.PatternPair{V1: v1, V2: v2}
+	}
+	delays = m.SampleInstance(r).Delays
+	clk = m.SuggestClock(0.95, 200, 7)
+	cell := m.MeanCellDelay()
+	for i := 0; i < 10; i++ {
+		sites = append(sites, ArcID((len(c.Arcs)/2+i*499)%len(c.Arcs)))
+		sizes = append(sizes, float64(2+2*i)*cell)
+	}
+	// One gross-delay hypothesis: the failing die whose behavior seeds
+	// the suspect-pruning benchmark.
+	sites = append(sites, ArcID((len(c.Arcs)/2+9*499)%len(c.Arcs)))
+	sizes = append(sizes, clk)
+	return m, pats, delays, sites, sizes, clk
+}
+
+// BenchmarkCoreBehaviorSim tracks behavior-matrix simulation of the
+// candidate-hypothesis sweep: one SimulateBehavior per (site, size)
+// against the broad pattern set, the per-candidate cost of diagnosis.
+// The committed baseline is the scalar path (one tsim run per pattern,
+// no prescreen); the production path proves safe patterns 64 at a time
+// and runs tsim only on the rest, and `make bench-core` gates on a 4x
+// speedup.
+func BenchmarkCoreBehaviorSim(b *testing.B) {
+	m, pats, delays, sites, sizes, clk := benchDiagSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k, site := range sites {
+			core.SimulateBehavior(m.C, delays, pats, site, sizes[k], clk)
+		}
+	}
+	sims := float64(len(pats) * len(sites))
+	b.ReportMetric(sims*float64(b.N)/b.Elapsed().Seconds(), "patterns/s")
+}
+
+// BenchmarkCoreSuspects tracks tiered suspect pruning of the failing
+// die's behavior: sensitization plus transition-cone analysis of every
+// failing pattern. The committed baseline is the scalar
+// one-pattern-at-a-time walk; the production path packs 64 patterns
+// per machine word, and `make bench-core` gates on a 4x speedup.
+func BenchmarkCoreSuspects(b *testing.B) {
+	m, pats, delays, sites, sizes, clk := benchDiagSetup(b)
+	last := len(sites) - 1
+	beh := core.SimulateBehavior(m.C, delays, pats, sites[last], sizes[last], clk)
+	if !beh.AnyFailure() {
+		b.Fatal("bench defect produced no failures")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SuspectArcsTiered(m.C, pats, beh)
+	}
+	b.ReportMetric(float64(len(pats))*float64(b.N)/b.Elapsed().Seconds(), "patterns/s")
+}

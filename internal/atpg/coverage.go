@@ -50,12 +50,12 @@ func (r *CoverageResult) Fraction() float64 {
 // (the classic fault-coverage curve, over segments).
 //
 // The production path is word-parallel: pattern pairs are packed 64 to
-// a machine word (logicsim.PackVectors), both vectors are evaluated
-// with the allocation-free EvalWordsInto kernel, and sensitization
-// masks are accumulated per arc with SensitizedArcsWordsInto — one
-// simulation sweep covers 64 patterns. The scalar walk survives as
-// arcCoverageScalar, the bit-exact oracle the equivalence tests pin
-// this kernel against.
+// a machine word (logicsim.PackPatternPairsInto), both vectors are
+// evaluated with the allocation-free EvalWordsInto kernel, and
+// sensitization masks are accumulated per arc with
+// SensitizedArcsWordsInto — one simulation sweep covers 64 patterns.
+// The scalar walk survives as arcCoverageScalar, the bit-exact oracle
+// the equivalence tests pin this kernel against.
 func ArcCoverage(c *circuit.Circuit, pats []logicsim.PatternPair) *CoverageResult {
 	res := newCoverageResult(c)
 	nGates := len(c.Gates)
@@ -63,27 +63,17 @@ func ArcCoverage(c *circuit.Circuit, pats []logicsim.PatternPair) *CoverageResul
 	finalVals := make([]uint64, nGates)
 	active := make([]uint64, nGates)
 	arcMasks := make([]uint64, len(c.Arcs))
-	v1s := make([]logicsim.Vector, 0, 64)
-	v2s := make([]logicsim.Vector, 0, 64)
+	initIn := make([]uint64, len(c.Inputs))
+	finalIn := make([]uint64, len(c.Inputs))
 	for start := 0; start < len(pats); start += 64 {
 		block := pats[start:min(start+64, len(pats))]
-		v1s, v2s = v1s[:0], v2s[:0]
-		for _, p := range block {
-			v1s = append(v1s, p.V1)
-			v2s = append(v2s, p.V2)
-		}
-		in1, err := logicsim.PackVectors(c, v1s)
-		if err != nil {
+		if _, _, err := logicsim.PackPatternPairsInto(initIn, finalIn, c, block); err != nil {
 			// A width-mismatched pattern is a programmer error, exactly
 			// as it was for the scalar path's Eval panic.
 			panic(err)
 		}
-		in2, err := logicsim.PackVectors(c, v2s)
-		if err != nil {
-			panic(err)
-		}
-		initVals = logicsim.EvalWordsInto(initVals, c, in1)
-		finalVals = logicsim.EvalWordsInto(finalVals, c, in2)
+		initVals = logicsim.EvalWordsInto(initVals, c, initIn)
+		finalVals = logicsim.EvalWordsInto(finalVals, c, finalIn)
 		for i := range arcMasks {
 			arcMasks[i] = 0
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/circuit"
@@ -110,16 +111,22 @@ func (cd *CompressedDictionary) PatternConsistency(si int, b *Behavior) []float6
 
 // countFailing tallies the failing outputs of each pattern (column) of
 // b into failing. The counts depend only on b, so Diagnose computes
-// them once and shares them across all suspects.
+// them once and shares them across all suspects. It runs on the
+// bit-packed word view: one popcount-style scan over Rows*⌈Cols/64⌉
+// words instead of Rows*Cols cell probes, touching only set bits.
 func countFailing(b *Behavior, failing []int) {
-	for j := 0; j < b.Cols; j++ {
-		n := 0
-		for i := 0; i < b.Rows; i++ {
-			if b.At(i, j) {
-				n++
+	for j := range failing {
+		failing[j] = 0
+	}
+	words := b.WordsPerRow()
+	for i := 0; i < b.Rows; i++ {
+		for w := 0; w < words; w++ {
+			v := b.Word(i, w)
+			for v != 0 {
+				failing[w*64+bits.TrailingZeros64(v)]++
+				v &= v - 1
 			}
 		}
-		failing[j] = n
 	}
 }
 

@@ -17,8 +17,37 @@ import (
 // the single-defect machinery degrades.
 
 // SimulateBehaviorMulti is SimulateBehavior under a multi-defect: all
-// extra delays are applied at once.
+// extra delays are applied at once. It shares SimulateBehavior's
+// word-parallel prescreen — the defect-activity mask becomes the OR
+// over all defect drivers — and simulateBehaviorMultiScalar is the
+// retained un-screened oracle.
 func SimulateBehaviorMulti(c *circuit.Circuit, delays []float64, patterns []logicsim.PatternPair, md defect.MultiDefect, clk float64) *Behavior {
+	defects := make([]screenDefect, 0, len(md))
+	for _, df := range md {
+		if df.Arc >= 0 && int(df.Arc) < len(c.Arcs) {
+			defects = append(defects, screenDefect{arc: df.Arc, extra: df.Size})
+		}
+	}
+	skip, skipped := screenBehavior(c, delays, patterns, defects, clk)
+	behaviorSimSkipped.Add(float64(skipped))
+	withDefects := md.ApplyTo(delays)
+	b := NewBehavior(len(c.Outputs), len(patterns))
+	eng := tsim.NewEngine(c)
+	for j, pat := range patterns {
+		if skip[j>>6]>>(uint(j)&63)&1 != 0 {
+			continue // capture provably equals the settled values
+		}
+		res := eng.Run(withDefects, pat, tsim.AtClock(clk))
+		for i, o := range c.Outputs {
+			b.Set(i, j, res.Capture[i] != res.Final[o])
+		}
+	}
+	return b
+}
+
+// simulateBehaviorMultiScalar is SimulateBehaviorMulti without the
+// prescreen, kept verbatim as the oracle for the screened path.
+func simulateBehaviorMultiScalar(c *circuit.Circuit, delays []float64, patterns []logicsim.PatternPair, md defect.MultiDefect, clk float64) *Behavior {
 	withDefects := md.ApplyTo(delays)
 	b := NewBehavior(len(c.Outputs), len(patterns))
 	eng := tsim.NewEngine(c)
@@ -48,7 +77,7 @@ type IterativeResult struct {
 // The loop stops early when no failures remain or the best candidate
 // explains nothing.
 func (d *Dictionary) DiagnoseIterative(b *Behavior, method Method, maxDefects int, threshold float64) []IterativeResult {
-	cur := &Behavior{Rows: b.Rows, Cols: b.Cols, Data: append([]bool(nil), b.Data...)}
+	cur := b.Clone()
 	var rounds []IterativeResult
 	for round := 0; round < maxDefects && cur.AnyFailure(); round++ {
 		ranked := d.Diagnose(cur, method)

@@ -16,9 +16,11 @@ func TestSimulateBehaviorMultiMatchesSingle(t *testing.T) {
 	single := SimulateBehavior(tb.c, inst.Delays, tb.pats, tb.site, size, tb.clk)
 	multi := SimulateBehaviorMulti(tb.c, inst.Delays, tb.pats,
 		defect.MultiDefect{{Arc: tb.site, Size: size}}, tb.clk)
-	for k := range single.Data {
-		if single.Data[k] != multi.Data[k] {
-			t.Fatalf("single vs one-element multi differ at %d", k)
+	for i := 0; i < single.Rows; i++ {
+		for j := 0; j < single.Cols; j++ {
+			if single.At(i, j) != multi.At(i, j) {
+				t.Fatalf("single vs one-element multi differ at (%d, %d)", i, j)
+			}
 		}
 	}
 }

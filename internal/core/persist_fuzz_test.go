@@ -67,8 +67,10 @@ func FuzzLoadDictionary(f *testing.F) {
 			return
 		}
 		b := NewBehavior(rows, cols)
-		for k := range b.Data {
-			b.Data[k] = k%3 == 0
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				b.Set(i, j, (i*cols+j)%3 == 0)
+			}
 		}
 		cd.Diagnose(b, AlgRev)
 	})

@@ -25,8 +25,10 @@ func randomDict(seed uint64, nSus, nOut, nPat int) (*Dictionary, *Behavior) {
 		d.Suspects[i] = circuit.ArcID(i * 3) // arbitrary distinct IDs
 	}
 	b := NewBehavior(nOut, nPat)
-	for k := range b.Data {
-		b.Data[k] = r.IntN(2) == 1
+	for i := 0; i < nOut; i++ {
+		for j := 0; j < nPat; j++ {
+			b.Set(i, j, r.IntN(2) == 1)
+		}
 	}
 	return d, b
 }

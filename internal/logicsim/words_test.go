@@ -1,0 +1,194 @@
+package logicsim
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/rng"
+	"repro/internal/synth"
+)
+
+// randomPairs builds n random pattern pairs for c.
+func randomPairs(t *testing.T, c *circuit.Circuit, seed uint64, n int) []PatternPair {
+	t.Helper()
+	r := rng.New(seed)
+	v1s := randomVectors(r, c, n)
+	v2s := randomVectors(r, c, n)
+	pairs := make([]PatternPair, n)
+	for i := range pairs {
+		pairs[i] = PatternPair{V1: v1s[i], V2: v2s[i]}
+	}
+	return pairs
+}
+
+// TestPackPatternPairsMatchesPackVectors pins the pair packer against
+// two independent PackVectors calls over the V1 and V2 planes.
+func TestPackPatternPairsMatchesPackVectors(t *testing.T) {
+	c, err := synth.GenerateNamed("small", 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{64, 17, 1, 0} {
+		pairs := randomPairs(t, c, uint64(100+n), n)
+		init, final, err := PackPatternPairs(c, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1s := make([]Vector, n)
+		v2s := make([]Vector, n)
+		for i, p := range pairs {
+			v1s[i], v2s[i] = p.V1, p.V2
+		}
+		wantInit := mustPack(t, c, v1s)
+		wantFinal := mustPack(t, c, v2s)
+		for i := range init {
+			if init[i] != wantInit[i] || final[i] != wantFinal[i] {
+				t.Fatalf("n=%d input %d: pair packing differs from PackVectors", n, i)
+			}
+		}
+		// Ragged-tail contract: lanes above n stay zero.
+		for i := range init {
+			if init[i]&^TailMask(n) != 0 || final[i]&^TailMask(n) != 0 {
+				t.Fatalf("n=%d input %d: tail lanes not zero", n, i)
+			}
+		}
+	}
+}
+
+// TestPackPatternPairsErrors pins the error contract: more than 64
+// pairs, or a width mismatch on either vector, is rejected.
+func TestPackPatternPairsErrors(t *testing.T) {
+	c, err := synth.GenerateNamed("mini", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := PackPatternPairs(c, randomPairs(t, c, 5, 65)); err == nil {
+		t.Error("65 pairs accepted")
+	}
+	pairs := randomPairs(t, c, 6, 2)
+	pairs[1].V1 = pairs[1].V1[:len(pairs[1].V1)-1]
+	if _, _, err := PackPatternPairs(c, pairs); err == nil {
+		t.Error("short V1 accepted")
+	}
+	pairs = randomPairs(t, c, 7, 2)
+	pairs[0].V2 = append(pairs[0].V2, true)
+	if _, _, err := PackPatternPairs(c, pairs); err == nil {
+		t.Error("long V2 accepted")
+	}
+}
+
+// TestPackPatternPairsIntoReusesBuffers: with large-enough dsts the
+// Into form returns the same backing arrays, fully overwritten.
+func TestPackPatternPairsIntoReusesBuffers(t *testing.T) {
+	c, err := synth.GenerateNamed("mini", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := func() []uint64 {
+		s := make([]uint64, len(c.Inputs)+5)
+		for i := range s {
+			s[i] = ^uint64(0)
+		}
+		return s
+	}
+	dstI, dstF := dirty(), dirty()
+	pairs := randomPairs(t, c, 9, 10)
+	init, final, err := PackPatternPairsInto(dstI, dstF, c, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &init[0] != &dstI[0] || &final[0] != &dstF[0] {
+		t.Error("Into form did not reuse the provided backing arrays")
+	}
+	wantI, wantF, err := PackPatternPairs(c, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantI {
+		if init[i] != wantI[i] || final[i] != wantF[i] {
+			t.Fatalf("input %d: dirty-buffer packing differs", i)
+		}
+	}
+}
+
+// TestTransitionConeArcsWordsMatchesScalar pins the word-parallel cone
+// kernel lane-by-lane against TransitionConeArcs over random circuits,
+// including ragged blocks and restricting masks.
+func TestTransitionConeArcsWordsMatchesScalar(t *testing.T) {
+	for _, profile := range []string{"mini", "small"} {
+		c, err := synth.GenerateNamed(profile, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(47)
+		for _, lanes := range []int{64, 17, 1} {
+			pairs := randomPairs(t, c, uint64(200+lanes), lanes)
+			init, final, err := PackPatternPairs(c, pairs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			initVals := EvalWords(c, init)
+			finalVals := EvalWords(c, final)
+			dst := make([]uint64, len(c.Arcs))
+			cone := c.NewGateSet()
+			for oi := range c.Outputs {
+				mask := r.Uint64() | 1 // keep lane 0 exercised
+				for i := range dst {
+					dst[i] = 0
+				}
+				TransitionConeArcsWordsInto(dst, cone, c, initVals, finalVals, oi, mask)
+				for b := 0; b < lanes; b++ {
+					tr := SimulatePair(c, pairs[b])
+					want := TransitionConeArcs(c, tr, oi)
+					sel := mask>>uint(b)&1 == 1
+					for aid := range dst {
+						gotBit := dst[aid]>>uint(b)&1 == 1
+						if gotBit != (sel && want.Has(circuit.ArcID(aid))) {
+							t.Fatalf("%s output %d lane %d arc %d: words %v scalar %v (mask %v)",
+								profile, oi, b, aid, gotBit, want.Has(circuit.ArcID(aid)), sel)
+						}
+					}
+				}
+				for aid, w := range dst {
+					if w&^(TailMask(lanes)&mask) != 0 {
+						t.Fatalf("%s output %d arc %d: unselected lanes set (%#x)", profile, oi, aid, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSensitizedArcsWordsMaskedRestrictsLanes: the masked variant is
+// the unmasked kernel with unselected lanes removed, exactly.
+func TestSensitizedArcsWordsMaskedRestrictsLanes(t *testing.T) {
+	c, err := synth.GenerateNamed("small", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := randomPairs(t, c, 77, 64)
+	init, final, err := PackPatternPairs(c, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initVals := EvalWords(c, init)
+	finalVals := EvalWords(c, final)
+	full := make([]uint64, len(c.Arcs))
+	masked := make([]uint64, len(c.Arcs))
+	active := make([]uint64, len(c.Gates))
+	r := rng.New(13)
+	for oi := range c.Outputs {
+		mask := r.Uint64()
+		for i := range full {
+			full[i] = 0
+			masked[i] = 0
+		}
+		SensitizedArcsWordsInto(full, active, c, initVals, finalVals, oi)
+		SensitizedArcsWordsMaskedInto(masked, active, c, initVals, finalVals, oi, mask)
+		for aid := range full {
+			if masked[aid] != full[aid]&mask {
+				t.Fatalf("output %d arc %d: masked %#x, want %#x", oi, aid, masked[aid], full[aid]&mask)
+			}
+		}
+	}
+}
